@@ -1,0 +1,55 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (Sec. IV–V).  The convention:
+
+* the experiment logic lives in a plain function returning the measured
+  quantities,
+* a ``test_*`` wrapper times the AWE-side work with pytest-benchmark and
+  asserts the *shape* claims (who wins, error ordering, pole structure) —
+  absolute agreement with 1989 plots is not expected since the original
+  element values are unrecoverable (see DESIGN.md),
+* :func:`report` prints a paper-vs-measured table (visible with ``-s`` /
+  ``-rA``; EXPERIMENTS.md records a captured run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simulate
+from repro.waveform import Waveform, l2_error
+
+
+def report(title: str, rows: list[tuple], headers: tuple = ("quantity", "paper", "measured")):
+    """Print a small aligned comparison table."""
+    widths = [max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def reference_waveform(circuit, stimuli, t_stop, node, tolerance=1e-4) -> Waveform:
+    """The SPICE-stand-in reference (converged TR-BDF2 transient)."""
+    return simulate(circuit, stimuli, t_stop, refine_tolerance=tolerance).voltage(node)
+
+
+def awe_error(reference: Waveform, response) -> float:
+    """Relative L2 error of an AWE response against the reference."""
+    return l2_error(reference, response.waveform.to_waveform(reference.times))
+
+
+def fmt_pole(pole: complex) -> str:
+    """Format a pole the way the paper's tables print them."""
+    if abs(pole.imag) < 1e-6 * abs(pole.real):
+        return f"{pole.real:.4e}"
+    return f"{pole.real:.4e} {pole.imag:+.4e}j"
+
+
+def fmt_pct(x: float) -> str:
+    return f"{100.0 * x:.2f}%"

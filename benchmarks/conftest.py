@@ -1,0 +1,7 @@
+"""Benchmark-suite conftest: ensures the helper module is importable and
+registers nothing else; see _bench_utils for the shared helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,77 @@
+"""Ablation — frequency scaling (paper Sec. 3.5).
+
+"Without frequency scaling, the moment matrix in (24) can become
+numerically unstable before an accurate solution may be reached."
+
+For nanosecond-scale circuits the moments shrink by ~9 decades per index;
+by fourth order the unscaled Hankel determinant mixes entries spanning
+~70 decades.  With γ = m₋₁/m₀ scaling every entry is O(1).
+
+Measured here on the Fig. 16 stiff tree:
+* the highest order extractable WITHOUT scaling,
+* the highest order extractable WITH scaling,
+* the Hankel condition numbers at order 3 in both modes.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro import AweAnalyzer, Step
+from repro.core.pade import match_poles
+from repro.errors import MomentMatrixError
+from repro.papercircuits import fig16_stiff_rc_tree
+
+STIMULI = {"Vin": Step(0.0, 5.0)}
+
+
+def moment_sequence():
+    analyzer = AweAnalyzer(fig16_stiff_rc_tree(), STIMULI, max_order=8)
+    subproblem = analyzer.subproblems()[0]
+    row = analyzer.system.index.node("7")
+    return subproblem.moments.sequence_for(row)
+
+
+def max_feasible_order(sequence, use_scaling):
+    best = 0
+    for q in range(1, 8):
+        if 2 * q > len(sequence):
+            break
+        try:
+            result = match_poles(sequence[: 2 * q], q, use_scaling=use_scaling)
+        except MomentMatrixError:
+            continue
+        if result.is_stable:
+            best = q
+    return best
+
+
+def test_ablation_frequency_scaling(benchmark):
+    sequence = moment_sequence()
+    benchmark(lambda: match_poles(sequence[:6], 3, use_scaling=True))
+
+    with_scaling = max_feasible_order(sequence, True)
+    without = max_feasible_order(sequence, False)
+
+    def condition(q, use_scaling):
+        try:
+            return match_poles(sequence[: 2 * q], q, use_scaling=use_scaling).condition_number
+        except MomentMatrixError as exc:
+            return f"rejected ({type(exc).__name__})"
+
+    report(
+        "Ablation — frequency scaling (Sec. 3.5), Fig. 16 tree, node 7",
+        [
+            ("moment magnitude span (m₀→m₆)", "~9 decades per index",
+             f"{abs(sequence[1]):.1e} → {abs(sequence[7]):.1e}"),
+            ("max stable order, scaled", "higher orders reachable", str(with_scaling)),
+            ("max stable order, unscaled", "breaks down early", str(without)),
+            ("Hankel cond at q=3, scaled", "O(1) entries", str(condition(3, True))),
+            ("Hankel cond at q=3, unscaled", "astronomically worse", str(condition(3, False))),
+        ],
+    )
+
+    assert with_scaling >= 4
+    assert without < with_scaling
+    scaled_cond = match_poles(sequence[:6], 3, use_scaling=True).condition_number
+    assert scaled_cond < 1e12

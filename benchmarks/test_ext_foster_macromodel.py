@@ -1,0 +1,82 @@
+"""Extension benchmark — Foster macromodel export.
+
+Reduce a 20-section RC line's driving-point admittance to a 4-branch
+Foster network (a *circuit*, not just numbers) and measure what survives
+the reduction:
+
+* total capacitance (y₁) preserved exactly,
+* admittance magnitude within 1 % over 3.5 decades,
+* the gate-delay a driver computes against the macromodel vs the full
+  net — the end-to-end quantity a library characterisation flow cares
+  about,
+* size: 41 elements → 9.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro import AweAnalyzer, Circuit, MnaSystem, Step
+from repro.core.macromodel import synthesize_rc_load
+from repro.papercircuits import rc_ladder
+
+FULL = rc_ladder(20, resistance=200.0, capacitance=100e-15)
+DRIVER_R = 800.0
+
+
+def delay_through_driver(load_builder) -> float:
+    """50 % delay at a driver output loaded by the given network."""
+    ckt = Circuit("driver test")
+    ckt.add_voltage_source("Vdrv", "in", "0")
+    ckt.add_resistor("Rdrv", "in", "drv", DRIVER_R)
+    load_builder(ckt)
+    analyzer = AweAnalyzer(ckt, {"Vdrv": Step(0.0, 5.0)})
+    return analyzer.response("drv", error_target=1e-3).delay(2.5)
+
+
+def attach_full(ckt):
+    previous = "drv"
+    for i in range(1, 21):
+        node = f"w{i}"
+        ckt.add_resistor(f"Rw{i}", previous, node, 200.0)
+        ckt.add_capacitor(f"Cw{i}", node, "0", 100e-15)
+        previous = node
+
+
+def test_ext_foster_macromodel(benchmark):
+    system = MnaSystem(FULL, sparse=False)
+    net = benchmark(lambda: synthesize_rc_load(MnaSystem(FULL, sparse=False), "Vin", 4))
+
+    def attach_foster(ckt):
+        for i, branch in enumerate(net.branches, start=1):
+            mid = f"f{i}"
+            ckt.add_resistor(f"Rf{i}", "drv", mid, branch.resistance)
+            ckt.add_capacitor(f"Cf{i}", mid, "0", branch.capacitance)
+
+    delay_full = delay_through_driver(attach_full)
+    delay_foster = delay_through_driver(attach_foster)
+
+    omegas = np.logspace(6, 9.5, 40)
+    exact = []
+    for omega in omegas:
+        x = np.linalg.solve(system.G + 1j * omega * system.C, system.B[:, 0])
+        exact.append(-x[system.index.current("Vin")])
+    exact = np.array(exact)
+    model = net.admittance(1j * omegas)
+    adm_err = (np.abs(model - exact) / np.abs(exact)).max()
+
+    report(
+        "Extension — Foster macromodel of a 20-section line (4 branches)",
+        [
+            ("elements", "41 → 9", f"{len(FULL)} → {4 * 2 + 1}"),
+            ("total capacitance", "preserved (y₁)",
+             f"{net.total_capacitance*1e15:.1f} fF = ΣC"),
+            ("max |Y| error, 3.5 decades", "≈1%", f"{adm_err:.2%}"),
+            ("driver 50% delay", "macromodel ≈ full net",
+             f"full {delay_full*1e12:.1f} ps vs Foster {delay_foster*1e12:.1f} ps"),
+        ],
+    )
+
+    assert net.total_capacitance == pytest.approx(2e-12, rel=1e-9)
+    assert adm_err < 0.01
+    assert delay_foster == pytest.approx(delay_full, rel=0.02)

@@ -1,0 +1,72 @@
+"""Extension benchmark — sparse factorisation and large-net AWE.
+
+The paper's complexity argument (Sec. 3.2): one factorisation, then each
+moment is a pair of triangular substitutions.  This benchmark measures,
+on random RC trees:
+
+* the factorisation itself: SuperLU (sparse) vs dense LAPACK at 1000 and
+  2000 unknowns — the sparse factor wins by an order of magnitude and
+  grows near-linearly (tree fill-in is trivial),
+* a full second-order AWE evaluation of a 2000-node net end-to-end
+  (sub-second in pure Python), anchored for correctness against the
+  Elmore tree walk.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro import AweAnalyzer, MnaSystem, Step
+from repro.papercircuits import random_rc_tree
+from repro.rctree import elmore_delays
+
+
+def factor_time(nodes: int, sparse: bool) -> float:
+    circuit = random_rc_tree(nodes, seed=31)
+    best = float("inf")
+    for _ in range(3):
+        system = MnaSystem(circuit, sparse=sparse)
+        start = time.perf_counter()
+        system.lu()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_ext_sparse_scaling(benchmark):
+    circuit = random_rc_tree(2000, seed=31)
+    leaf = circuit.nodes[-1]
+
+    def full_awe():
+        return AweAnalyzer(circuit, {"Vin": Step(0, 5)}, max_order=2).response(
+            leaf, order=2
+        )
+
+    response = benchmark.pedantic(full_awe, rounds=3, iterations=1)
+
+    # Correctness anchor at scale: first-moment pole == 1/Elmore.
+    first = AweAnalyzer(circuit, {"Vin": Step(0, 5)}).response(leaf, order=1)
+    elmore = elmore_delays(circuit)[leaf]
+    assert first.poles[0].real == pytest.approx(-1.0 / elmore, rel=1e-8)
+
+    times = {
+        (n, sparse): factor_time(n, sparse)
+        for n in (1000, 2000)
+        for sparse in (False, True)
+    }
+
+    report(
+        "Extension — factorisation scaling, random RC trees",
+        [
+            ("factor 1000 unknowns", "sparse ≪ dense",
+             f"dense {times[(1000, False)]*1e3:.1f} ms / sparse {times[(1000, True)]*1e3:.1f} ms"),
+            ("factor 2000 unknowns", "gap widens",
+             f"dense {times[(2000, False)]*1e3:.1f} ms / sparse {times[(2000, True)]*1e3:.1f} ms"),
+            ("sparse speedup at 2000", "order(s) of magnitude",
+             f"{times[(2000, False)]/times[(2000, True)]:.0f}x"),
+        ],
+    )
+
+    assert times[(1000, True)] < times[(1000, False)]
+    assert times[(2000, False)] / times[(2000, True)] > 5

@@ -1,0 +1,64 @@
+"""Paper Fig. 7: first-order AWE step response of the Fig. 4 RC tree.
+
+The paper plots the first-order approximation ``v₄ = 5 − 5e^{−t/τ₁}``
+(its eq. 60, τ₁ = the Elmore delay) against SPICE, noting visible error
+that motivates Sec. 4.4's escalation to second order (Fig. 15 reports the
+first-order error term as 36 %).
+
+Reproduced claims:
+* the fitted pole is exactly −1/T_D (T_D = 0.7 ms for our element values),
+* the first-order waveform is qualitatively right but visibly off
+  (double-digit relative error),
+* the final value is exact (m₀ matching ⇒ exact area, Sec. 3.3).
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import awe_error, fmt_pct, report, reference_waveform
+from repro import AweAnalyzer, Step
+from repro.papercircuits import fig4_elmore_delays, fig4_rc_tree
+
+STIMULI = {"Vin": Step(0.0, 5.0)}
+T_STOP = 6e-3
+
+
+def run_experiment():
+    circuit = fig4_rc_tree()
+    analyzer = AweAnalyzer(circuit, STIMULI)
+    response = analyzer.response("4", order=1)
+    reference = reference_waveform(circuit, STIMULI, T_STOP, "4")
+    return analyzer, response, reference
+
+
+def test_fig07_first_order_step(benchmark):
+    analyzer, response, reference = run_experiment()
+
+    def awe_first_order():
+        return AweAnalyzer(fig4_rc_tree(), STIMULI).response("4", order=1)
+
+    benchmark(awe_first_order)
+
+    pole = response.poles[0].real
+    elmore = fig4_elmore_delays()["4"]
+    true_error = awe_error(reference, response)
+    estimate = response.error_estimate
+
+    report(
+        "Fig. 7 — first-order AWE step response at C4 (Fig. 4 tree)",
+        [
+            ("pole (1/s)", "−1/T_D (eq. 60)", f"{pole:.4e} vs −1/T_D = {-1/elmore:.4e}"),
+            ("error estimate", "36% (from Fig. 15 text)", fmt_pct(estimate)),
+            ("true L2 error vs reference", "visible mismatch", fmt_pct(true_error)),
+            ("final value", "5 V (exact)", f"{response.waveform.final_value():.6f} V"),
+        ],
+    )
+
+    assert pole == pytest.approx(-1.0 / elmore, rel=1e-9)
+    assert response.waveform.final_value() == pytest.approx(5.0, rel=1e-12)
+    # First order is usable but visibly wrong — double-digit percent range.
+    assert 0.05 < true_error < 0.5
+    assert 0.05 < estimate < 0.6
+    # The model is monotone, like the true RC-tree response.
+    sampled = response.waveform.to_waveform(reference.times)
+    assert sampled.is_monotone(1e-9)

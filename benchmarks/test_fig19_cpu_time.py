@@ -1,0 +1,92 @@
+"""Paper Fig. 19: CPU time of the first-order approximation vs the
+*incremental* cost of going to second order (Sec. 5.1).
+
+"The first-order approximation time is the CPU time required to set up
+the equations, find the steady state and m₀, and solve for the dominant
+pole and residue.  The second-order approximation incremental CPU time is
+that required to find the next two moments, and the two approximating
+poles and residues."  The figure shows the increment to be a small
+fraction of the first-order cost — the economic argument for order
+escalation.
+
+Hardware changed since 1989; the *ratio* is the reproduced claim: the
+incremental second-order work (two LU back-substitutions + a 2×2 solve)
+costs well under the full first-order setup (matrix assembly + LU
+factorisation + the first solves).
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro import MnaSystem
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.core.moments import homogeneous_moments
+from repro.core.pade import match_poles
+from repro.core.residues import solve_residues
+from repro.papercircuits import fig16_stiff_rc_tree
+
+CIRCUIT = fig16_stiff_rc_tree()
+
+
+def first_order_setup():
+    """Everything the paper charges to the first-order estimate."""
+    system = MnaSystem(CIRCUIT)
+    state = resolve_initial_storage_state(system, {"Vin": 0.0})
+    x0 = initial_operating_point(CIRCUIT, system, state, {"Vin": 5.0})
+    x_final = dc_operating_point(system, {"Vin": 5.0})
+    moments = homogeneous_moments(system, x0 - x_final, 1)
+    sequence = moments.sequence_for(system.index.node("7"))
+    pade = match_poles(sequence[:2], 1)
+    solve_residues(pade.poles, sequence)
+    return system, moments
+
+
+def second_order_increment(system, moments):
+    """The paper's incremental cost: two more moments + the 2-pole solve."""
+    extended = moments.extended(system, 2)
+    sequence = extended.sequence_for(system.index.node("7"))
+    pade = match_poles(sequence[:4], 2)
+    solve_residues(pade.poles, sequence)
+    return extended
+
+
+class TestFig19CpuTime:
+    def test_first_order_setup(self, benchmark):
+        benchmark(first_order_setup)
+
+    def test_second_order_increment(self, benchmark):
+        system, moments = first_order_setup()
+        benchmark(lambda: second_order_increment(system, moments))
+
+    def test_increment_is_cheap(self, benchmark):
+        import time
+
+        def measure(fn, repeat=30):
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        t_setup = measure(first_order_setup)
+        system, moments = first_order_setup()
+        t_increment = measure(lambda: second_order_increment(system, moments))
+        # Register the increment with pytest-benchmark as well, so this
+        # ratio check also runs under --benchmark-only.
+        benchmark(lambda: second_order_increment(system, moments))
+
+        report(
+            "Fig. 19 — CPU time: first-order setup vs second-order increment",
+            [
+                ("first-order setup", "dominant cost", f"{t_setup*1e3:.3f} ms"),
+                ("second-order increment", "small fraction", f"{t_increment*1e3:.3f} ms"),
+                ("increment / setup", "≪ 1", f"{t_increment/t_setup:.2f}"),
+            ],
+        )
+        assert t_increment < 0.6 * t_setup

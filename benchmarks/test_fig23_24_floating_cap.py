@@ -1,0 +1,104 @@
+"""Paper Figs. 23–24: the floating coupling capacitor (Sec. 5.3, Fig. 22).
+
+The Fig. 16 tree gains C₁₁ from the output to a side node carrying C₁₂.
+The paper reports:
+
+* the 4.0 V-threshold delay grows from 1.6 ns to 1.7 ns from charge
+  sharing through C₁₁,
+* the floating path *degrades* the second-order fit (error 15 % vs
+  0.15 % without it), recovering at third order (0.14 %),
+* Fig. 24: the charge dumped onto C₁₂ — "since we match the m₀ term …
+  the area under these voltage curves, hence the charge transferred, is
+  always exact."
+
+Fig. 23 runs on the default Fig. 22 variant (victim node resistively
+held, the configuration that stresses second order the way the paper
+describes); Fig. 24's exact-charge claim is additionally exercised on the
+purely capacitive variant, where node 12 is governed by the Sec. III
+charge-conservation equation.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import awe_error, fmt_pct, report, reference_waveform
+from repro import AweAnalyzer, MnaSystem, Step
+from repro.papercircuits import fig16_stiff_rc_tree, fig22_floating_cap
+
+STIMULI = {"Vin": Step(0.0, 5.0)}
+T_STOP = 1.5e-8
+
+
+def test_fig23_output_degradation_and_delay(benchmark):
+    coupled = fig22_floating_cap()
+    analyzer = AweAnalyzer(coupled, STIMULI)
+    analyzer_base = AweAnalyzer(fig16_stiff_rc_tree(), STIMULI)
+    ref7 = reference_waveform(coupled, STIMULI, T_STOP, "7")
+    base_ref = reference_waveform(fig16_stiff_rc_tree(), STIMULI, 8e-9, "7")
+
+    benchmark(lambda: AweAnalyzer(fig22_floating_cap(), STIMULI).response("7", order=3))
+
+    err_base2 = awe_error(base_ref, analyzer_base.response("7", order=2))
+    err2 = awe_error(ref7, analyzer.response("7", order=2))
+    err3 = awe_error(ref7, analyzer.response("7", order=3))
+
+    delay_base = analyzer_base.response("7", order=3).delay(4.0)
+    delay_coupled = analyzer.response("7", order=3).delay(4.0)
+
+    report(
+        "Fig. 23 — output response with the floating capacitor (Fig. 22)",
+        [
+            ("2nd-order error, no C11", "0.15%", fmt_pct(err_base2)),
+            ("2nd-order error, with C11", "15%", fmt_pct(err2)),
+            ("3rd-order error, with C11", "0.14%", fmt_pct(err3)),
+            ("4.0 V delay, no C11", "1.6 ns", f"{delay_base*1e9:.3f} ns"),
+            ("4.0 V delay, with C11", "1.7 ns", f"{delay_coupled*1e9:.3f} ns"),
+        ],
+    )
+
+    # The floating path degrades second order; third order recovers.
+    assert err2 > 10 * err_base2
+    assert err2 > 0.02
+    assert err3 < err2 / 10
+    # Charge sharing slows the threshold crossing.
+    assert delay_coupled > delay_base * 1.05
+
+
+def test_fig24_charge_dumped_is_exact(benchmark):
+    # Default (leaky) variant: the victim waveform rises and decays.
+    coupled = fig22_floating_cap()
+    analyzer = AweAnalyzer(coupled, STIMULI)
+    ref12 = reference_waveform(coupled, STIMULI, T_STOP, "12")
+    benchmark(lambda: AweAnalyzer(fig22_floating_cap(), STIMULI).response("12", order=3))
+
+    response = analyzer.response("12", order=3)
+    candidate = response.waveform.to_waveform(ref12.times)
+    err = awe_error(ref12, response)
+    area_awe = candidate.integral()
+    area_ref = ref12.integral()
+
+    # Purely capacitive variant: trapped charge fixes the final value.
+    capacitive = fig22_floating_cap(leak_resistance=None)
+    assert len(MnaSystem(capacitive).floating_groups) == 1
+    cap_analyzer = AweAnalyzer(capacitive, STIMULI)
+    cap_response = cap_analyzer.response("12", order=2)
+    cap_ref = reference_waveform(capacitive, STIMULI, 8e-9, "12")
+
+    report(
+        "Fig. 24 — charge dumped onto C12 through the floating capacitor",
+        [
+            ("victim peak", "visible coupling bump", f"{ref12.values.max():.4f} V"),
+            ("L2 error (3rd order)", "small", fmt_pct(err)),
+            ("area ∫v dt (∝ charge)", "exact (m₀ matched)",
+             f"AWE {area_awe:.5e} vs ref {area_ref:.5e}"),
+            ("capacitive variant final", "charge conservation",
+             f"AWE {cap_response.waveform.final_value():.4f} V vs ref {cap_ref.values[-1]:.4f} V"),
+        ],
+    )
+
+    assert ref12.values.max() > 0.1  # real coupling noise
+    assert err < 0.05
+    assert area_awe == pytest.approx(area_ref, rel=5e-3)
+    assert cap_response.waveform.final_value() == pytest.approx(
+        cap_ref.values[-1], rel=1e-3
+    )

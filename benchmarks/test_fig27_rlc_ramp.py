@@ -1,0 +1,63 @@
+"""Paper Fig. 27: the Fig. 25 RLC circuit driven with a 1 ns rise time.
+
+"If the input voltage rise time were changed from 0 to 1 ns, the residues
+would be changed such that there would be only one complex pole pair
+dominating the response" — so a second-order model suffices, and "in
+general, the step response approximation will exhibit the largest error
+term since its transient response is more significant than for the case
+of finite input signal slope."
+
+Reproduced claims:
+* the second-order ramp-response error is far below the second-order
+  *step*-response error on the same circuit,
+* the finite rise time shrinks the overshoot,
+* second order suffices for plot-level agreement.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import awe_error, fmt_pct, report, reference_waveform
+from repro import AweAnalyzer, Ramp, Step
+from repro.papercircuits import fig25_rlc_ladder
+
+RAMP = {"Vin": Ramp(0.0, 5.0, rise_time=1e-9)}
+STEP = {"Vin": Step(0.0, 5.0)}
+T_STOP = 1.2e-8
+
+
+def run_experiment():
+    circuit = fig25_rlc_ladder()
+    ramp_analyzer = AweAnalyzer(circuit, RAMP)
+    step_analyzer = AweAnalyzer(circuit, STEP)
+    ramp_ref = reference_waveform(circuit, RAMP, T_STOP, "3")
+    step_ref = reference_waveform(circuit, STEP, T_STOP, "3")
+    return ramp_analyzer, step_analyzer, ramp_ref, step_ref
+
+
+def test_fig27_rlc_ramp(benchmark):
+    ramp_analyzer, step_analyzer, ramp_ref, step_ref = run_experiment()
+    benchmark(lambda: AweAnalyzer(fig25_rlc_ladder(), RAMP).response("3", order=2))
+
+    ramp2 = ramp_analyzer.response("3", order=2)
+    step2 = step_analyzer.response("3", order=2)
+    err_ramp = awe_error(ramp_ref, ramp2)
+    err_step = awe_error(step_ref, step2)
+
+    report(
+        "Fig. 27 — RLC response to a 5 V input with 1 ns rise time",
+        [
+            ("2nd-order error (ramp)", "good agreement", fmt_pct(err_ramp)),
+            ("2nd-order error (step, Fig. 26)", "22%", fmt_pct(err_step)),
+            ("step/ramp error ratio", "step is the worst case", f"{err_step/err_ramp:.1f}x"),
+            ("overshoot (ramp ref)", "reduced vs step", fmt_pct(ramp_ref.overshoot())),
+            ("overshoot (step ref)", "—", fmt_pct(step_ref.overshoot())),
+        ],
+    )
+
+    assert err_ramp < 0.5 * err_step
+    assert err_ramp < 0.1
+    assert ramp_ref.overshoot() < step_ref.overshoot()
+    # Second order is enough for a usable delay estimate.
+    true_delay = ramp_ref.threshold_delay(2.5)
+    assert ramp2.delay(2.5) == pytest.approx(true_delay, rel=0.05)

@@ -1,0 +1,77 @@
+"""Paper Sec. IV: first-order AWE ≡ the RC-tree (Elmore) methods.
+
+The section proves two equivalences on the Fig. 4 tree, both asserted
+here exactly (to solver precision, not approximately):
+
+* eq. 56: the tree/link m₀ solve produces the Elmore delays of every node
+  simultaneously — identical to the eq. 50 tree walk,
+* eq. 60: the first-order AWE step response is v(∞)(1 − e^{−t/T_D}) with
+  the Elmore delay as the time constant — i.e. exactly the
+  Penfield–Rubinstein estimate (eq. 2).
+
+This also benchmarks the O(n) claims: the tree walk and the tree/link
+moment evaluation on a 500-node random tree.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import report
+from repro import AweAnalyzer, Step
+from repro.papercircuits import fig4_elmore_delays, fig4_rc_tree, random_rc_tree
+from repro.rctree import (
+    elmore_delays,
+    penfield_rubinstein_model,
+    treelink_elmore_delays,
+)
+
+
+def test_sec4_equivalences(benchmark):
+    circuit = fig4_rc_tree()
+    hand = fig4_elmore_delays()
+
+    benchmark(lambda: treelink_elmore_delays(fig4_rc_tree(), 5.0))
+
+    walk = elmore_delays(circuit)
+    treelink = treelink_elmore_delays(circuit, 5.0)
+    analyzer = AweAnalyzer(circuit, {"Vin": Step(0.0, 5.0)})
+
+    rows = []
+    for node in ("1", "2", "3", "4"):
+        awe_pole = analyzer.response(node, order=1).poles[0].real
+        rows.append(
+            (f"T_D node {node}",
+             f"{hand[node]*1e3:.2f} ms (eq. 50/56)",
+             f"walk {walk[node]*1e3:.4f} / treelink {treelink[f'C{node}']*1e3:.4f} "
+             f"/ −1/p₁ {(-1/awe_pole)*1e3:.4f} ms"),
+        )
+        assert walk[node] == pytest.approx(hand[node], rel=1e-12)
+        assert treelink[f"C{node}"] == pytest.approx(hand[node], rel=1e-10)
+        assert awe_pole == pytest.approx(-1.0 / hand[node], rel=1e-10)
+
+    # First-order AWE waveform == Penfield–Rubinstein estimate, pointwise.
+    response = analyzer.response("4", order=1)
+    pr = penfield_rubinstein_model(circuit, "4", 5.0)
+    t = np.linspace(0, 5e-3, 512)
+    np.testing.assert_allclose(response.waveform.evaluate(t), pr.evaluate(t),
+                               rtol=1e-9, atol=1e-9)
+    rows.append(("first-order waveform", "≡ eq. 2 single exponential",
+                 "pointwise identical (rtol 1e-9)"))
+    report("Sec. IV — first-order AWE ≡ Elmore / tree-walk / tree-link", rows)
+
+
+def test_sec4_linear_complexity(benchmark):
+    """The O(n) claim: one tree walk over a 500-node tree."""
+    circuit = random_rc_tree(500, seed=17)
+    delays = benchmark(lambda: elmore_delays(circuit))
+    assert len(delays) == 501
+
+
+def test_sec4_treelink_moments_scale(benchmark):
+    """Tree/link moment evaluation on a 200-node tree (the generalised
+    tree walk of Sec. IV)."""
+    from repro.rctree import treelink_moments
+
+    circuit = random_rc_tree(200, seed=17)
+    moments = benchmark(lambda: treelink_moments(circuit, {"Vin": 5.0}, 1))
+    assert len(moments) == 200

@@ -1,0 +1,76 @@
+"""Paper Table I: approximating vs actual poles of the Fig. 16 tree,
+without and with the V(C₆) = 5 V nonequilibrium initial condition.
+
+The table's structure (reproduced here):
+
+* no IC: first order lands near the dominant pole (−1.7358e9 vs actual
+  −1.7818e9); second order locks the first pole and approximates the
+  second (−1.2572e10 vs −1.3830e10) — poles "creep up on" the actual ones,
+* with the IC: the initial state excites/suppresses natural frequencies;
+  the paper finds the first-order pole pushed away (−9.69e8) and the
+  second-order pair landing near actual poles 1 and 3 because a
+  low-frequency zero partially cancels pole 2.
+
+Our circuit reproduces the no-IC creep-up quantitatively (the dominant
+pole was tuned to the table's −1.7818e9; the second actual pole is within
+0.2 % of the table's) and the IC-induced pole migration qualitatively.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt_pole, report
+from repro import AweAnalyzer, MnaSystem, Ramp, circuit_poles
+from repro.papercircuits import fig16_stiff_rc_tree
+
+STIMULI = {"Vin": Ramp(0.0, 5.0, rise_time=1e-9)}
+
+
+def poles_for(sharing_voltage, order):
+    circuit = fig16_stiff_rc_tree(sharing_voltage=sharing_voltage)
+    analyzer = AweAnalyzer(circuit, STIMULI)
+    return analyzer.response("7", order=order).poles
+
+
+def run_experiment():
+    exact = np.sort(circuit_poles(MnaSystem(fig16_stiff_rc_tree())).poles.real)[::-1]
+    q1 = poles_for(None, 1)
+    q2 = poles_for(None, 2)
+    q1_ic = poles_for(5.0, 1)
+    q2_ic = poles_for(5.0, 2)
+    return exact, q1, q2, q1_ic, q2_ic
+
+
+def test_table1_rc_tree_poles(benchmark):
+    exact, q1, q2, q1_ic, q2_ic = run_experiment()
+
+    benchmark(lambda: poles_for(None, 2))
+
+    rows = [
+        ("actual pole 1", "-1.7818e9", fmt_pole(complex(exact[0]))),
+        ("actual pole 2", "-1.3830e10", fmt_pole(complex(exact[1]))),
+        ("1st order (no IC)", "-1.7358e9", fmt_pole(q1[0])),
+        ("2nd order (no IC)", "-1.7818e9, -1.2572e10",
+         ", ".join(fmt_pole(p) for p in q2)),
+        ("1st order (V(C6)=5)", "-9.6949e8", fmt_pole(q1_ic[0])),
+        ("2nd order (V(C6)=5)", "-1.7818e9, -2.6920e10",
+         ", ".join(fmt_pole(p) for p in q2_ic)),
+    ]
+    report("Table I — approximating and exact poles, Fig. 16 RC tree", rows)
+
+    # Tuned identities.
+    assert exact[0] == pytest.approx(-1.7818e9, rel=1e-4)
+    assert exact[1] == pytest.approx(-1.3830e10, rel=0.01)
+
+    # Creep-up, no IC: q1 within 5 % of dominant; q2 dominant within 0.1 %.
+    assert q1[0].real == pytest.approx(exact[0], rel=0.05)
+    assert q2[0].real == pytest.approx(exact[0], rel=1e-3)
+    assert exact[2] < q2[1].real < exact[0]  # second fitted pole in range
+
+    # IC case: the first-order pole migrates away from the no-IC value...
+    assert abs(q1_ic[0].real - q1[0].real) > 0.05 * abs(q1[0].real)
+    # ...while second order still pins the true dominant pole...
+    assert q2_ic[0].real == pytest.approx(exact[0], rel=1e-3)
+    # ...and its second pole lands deeper than the second actual pole
+    # (partial cancellation of pole 2 by the IC-induced zero).
+    assert q2_ic[1].real < exact[1]

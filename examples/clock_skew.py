@@ -1,0 +1,86 @@
+"""Clock-tree skew under process variation — the full timing toolbox.
+
+Builds an intentionally imbalanced clock H-tree, then answers the three
+questions a clock designer asks, all from the same moment machinery:
+
+1. What is the nominal skew across the 16 leaves?  (one AWE analysis,
+   every leaf's threshold delay)
+2. Which wire segments matter?  (adjoint delay gradient at the slow and
+   fast leaves)
+3. What does process variation do to the skew?  (gradient-guided corner
+   spread + Monte Carlo distribution per leaf)
+
+Run:  python examples/clock_skew.py
+"""
+
+import numpy as np
+
+from repro import Step, simulate
+from repro.circuit.units import format_engineering as fmt
+from repro.core.sensitivity import delay_sensitivities
+from repro.papercircuits import clock_h_tree
+from repro.timing import (
+    delay_corners,
+    delay_distribution,
+    skew_report,
+    tree_leaves,
+    uniform_tolerances,
+)
+
+STIMULI = {"Vclk": Step(0.0, 1.0)}
+
+
+def main():
+    circuit = clock_h_tree(4, imbalance_seed=13, imbalance=0.25)
+    leaves = tree_leaves(circuit)
+    print(f"net: {circuit.title}  ({len(circuit)} elements)")
+
+    # 1. nominal skew ---------------------------------------------------
+    report = skew_report(circuit, STIMULI, leaves, threshold=0.5)
+    early_node, early = report.earliest
+    late_node, late = report.latest
+    print(f"\nnominal skew: {fmt(report.skew, 's')} "
+          f"({early_node} {fmt(early, 's')} .. {late_node} {fmt(late, 's')})")
+
+    # sanity: verify the two extreme leaves against the simulator
+    horizon = 12 * late
+    result = simulate(circuit, STIMULI, horizon)
+    for leaf in (early_node, late_node):
+        true_delay = result.voltage(leaf).threshold_delay(0.5)
+        print(f"  {leaf}: AWE {fmt(report.delays[leaf], 's')} vs "
+              f"transient {fmt(true_delay, 's')}")
+
+    # 2. what drives the slow path --------------------------------------
+    sens = delay_sensitivities(circuit, late_node, {"Vclk": 1.0})
+    print(f"\ntop delay contributors at the slow leaf ({late_node}):")
+    for name, value in sens.top_contributors(4):
+        print(f"  {name:<12} x*dT/dx = {fmt(value, 's')}")
+
+    # 3. variation ------------------------------------------------------
+    # Corner/Monte-Carlo work on the first-moment (Elmore) delay metric —
+    # the variational currency of early timing.  It tracks, but is not
+    # equal to, the 50% threshold delay above.
+    tolerances = uniform_tolerances(circuit, 0.10)
+    slow_corners = delay_corners(circuit, late_node, tolerances, {"Vclk": 1.0})
+    fast_corners = delay_corners(circuit, early_node, tolerances, {"Vclk": 1.0})
+    worst_skew = slow_corners.corner_high - fast_corners.corner_low
+    nominal_spread = slow_corners.nominal - fast_corners.nominal
+    print(f"\n±10% process corners (first-moment/Elmore metric):")
+    print(f"  slow leaf: nominal {fmt(slow_corners.nominal, 's')}, corners "
+          f"{fmt(slow_corners.corner_low, 's')} .. {fmt(slow_corners.corner_high, 's')}")
+    print(f"  fast leaf: nominal {fmt(fast_corners.nominal, 's')}, corners "
+          f"{fmt(fast_corners.corner_low, 's')} .. {fmt(fast_corners.corner_high, 's')}")
+    print(f"  worst-case skew bound: {fmt(worst_skew, 's')} "
+          f"(vs nominal spread {fmt(nominal_spread, 's')})")
+
+    mc = delay_distribution(circuit, late_node, tolerances, samples=2000,
+                            seed=5, source_values={"Vclk": 1.0})
+    print(f"\nMonte Carlo (2000 linearised samples) at {late_node}:")
+    print(f"  mean {fmt(mc.mean, 's')}, sigma {fmt(mc.std, 's')}, "
+          f"p99 {fmt(mc.quantile(0.99), 's')}")
+    print("  (corner bound comfortably contains the p99 - corners are the")
+    print("   pessimistic contract, the distribution is the realistic one)")
+
+
+if __name__ == "__main__":
+    main()

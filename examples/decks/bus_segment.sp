@@ -1,0 +1,20 @@
+bus segment with coupling and a grounded termination
+* aggressor line
+Vagg ain 0 PWL(0 0 0.3n 5)
+Ra1 ain a1 150
+Ca1 a1 0 90f
+Ra2 a1 a2 150
+Ca2 a2 0 90f
+Ra3 a2 a3 180
+Ca3 a3 0 140f
+* victim line held low by its driver
+Vvic vin 0 DC 0
+Rv1 vin v1 200
+Cv1 v1 0 80f
+Rv2 v1 v2 200
+Cv2 v2 0 80f
+* coupling and a leaky termination
+Ccp1 a2 v1 40f
+Ccp2 a3 v2 60f
+Rterm a3 0 25k
+.end

@@ -1,0 +1,22 @@
+six-section lossy LC board trace behind a 25 ohm driver
+Vin in 0 PWL(0 0 0.2n 3.3)
+Rs in n0 25
+R1 n0 m1 0.5
+L1 m1 t1 2n
+C1 t1 0 1p
+R2 t1 m2 0.5
+L2 m2 t2 2n
+C2 t2 0 1p
+R3 t2 m3 0.5
+L3 m3 t3 2n
+C3 t3 0 1p
+R4 t3 m4 0.5
+L4 m4 t4 2n
+C4 t4 0 1p
+R5 t4 m5 0.5
+L5 m5 t5 2n
+C5 t5 0 1p
+R6 t5 m6 0.5
+L6 m6 t6 2n
+C6 t6 0 1p
+.end

@@ -1,0 +1,82 @@
+"""Inductive + capacitive crosstalk on a PCB bus pair.
+
+The paper's introduction argues that board-level timing needs "general
+RLC interconnect models" — including mutual coupling no RC tree can
+express.  This example drives an aggressor trace beside a terminated
+victim, where noise arrives through *two* mechanisms with opposite
+signatures:
+
+* capacitive coupling injects current proportional to dV/dt (same
+  polarity at both victim ends),
+* inductive coupling induces a voltage proportional to dI/dt (opposite
+  polarities at the near and far ends — the classic backward/forward
+  crosstalk split).
+
+AWE handles the coupled system like any other linear circuit; the example
+quantifies near-/far-end noise vs the coupling coefficient and checks a
+sample point against the transient simulator.
+
+Run:  python examples/inductive_crosstalk.py
+"""
+
+import numpy as np
+
+from repro import AweAnalyzer, Ramp, simulate
+from repro.circuit.units import format_engineering as fmt
+from repro.papercircuits import magnetically_coupled_lines
+
+
+def noise_profile(k_inductive, c_coupling, rise_time=0.3e-9):
+    circuit = magnetically_coupled_lines(
+        4, inductive_k=k_inductive, c_coupling=c_coupling
+    )
+    stimuli = {"Vagg": Ramp(0.0, 3.3, rise_time=rise_time)}
+    analyzer = AweAnalyzer(circuit, stimuli, max_order=10)
+    peaks = {}
+    for label, node in (("near end", "v0"), ("far end", "v4")):
+        response = analyzer.response(node, error_target=0.05)
+        window = response.waveform.suggested_window()
+        waveform = response.waveform.to_waveform(np.linspace(0, window, 6000))
+        extreme = max(waveform.values.max(), -waveform.values.min())
+        sign = "+" if waveform.values.max() >= -waveform.values.min() else "-"
+        peaks[label] = (extreme, sign, response.order)
+    return circuit, stimuli, peaks
+
+
+def main():
+    print("victim noise peaks vs coupling mechanism (3.3 V aggressor, 300 ps edge)")
+    print(f"  {'configuration':<34} {'near end':>12} {'far end':>12}")
+    cases = [
+        ("capacitive only (k=0)", 1e-9, 100e-15),
+        ("inductive only (Cc~0)", 0.35, 1e-18),
+        ("both mechanisms", 0.35, 100e-15),
+        ("strong inductive (k=0.6)", 0.6, 100e-15),
+    ]
+    for label, k, cc in cases:
+        _, _, peaks = noise_profile(k, cc)
+        near = f"{peaks['near end'][1]}{peaks['near end'][0]*1e3:.0f} mV"
+        far = f"{peaks['far end'][1]}{peaks['far end'][0]*1e3:.0f} mV"
+        print(f"  {label:<34} {near:>12} {far:>12}")
+
+    # Cross-check one configuration against the transient simulator.
+    circuit, stimuli, peaks = noise_profile(0.35, 100e-15)
+    reference = simulate(circuit, stimuli, 1e-8, refine_tolerance=5e-4).voltage("v4")
+    analyzer = AweAnalyzer(circuit, stimuli, max_order=10)
+    response = analyzer.response("v4", error_target=0.05)
+    candidate = response.waveform.to_waveform(reference.times)
+    err = np.abs(candidate.values - reference.values).max()
+    peak = np.abs(reference.values).max()
+    print(f"\nfar-end check vs transient: max |Δ| = {err*1e3:.1f} mV "
+          f"on a {peak*1e3:.0f} mV signal (AWE order {response.order}, "
+          f"{err/peak:.0%} worst-case)")
+    print("(deep-sub-signal crosstalk detail is the hard case for")
+    print(" single-expansion-point moment matching: s=0 moments barely see")
+    print(" well-damped ringing - the blind spot AWE's multipoint successors")
+    print(" addressed. Peak levels and polarities above are solid.)")
+    print("\nnote the polarity flip between capacitive-only and")
+    print("inductive-dominated far-end noise - the RLC physics an RC model")
+    print("cannot represent, and the reason the paper generalises beyond RC trees.")
+
+
+if __name__ == "__main__":
+    main()

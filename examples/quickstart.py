@@ -1,0 +1,67 @@
+"""Quickstart: AWE in five minutes.
+
+Builds the paper's Fig. 4 RC tree, approximates its step response at
+increasing orders, and checks everything against the built-in
+SPICE-style transient simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AweAnalyzer, Step, simulate
+from repro.circuit.units import format_engineering as fmt
+from repro.papercircuits import fig4_rc_tree
+from repro.rctree import elmore_delays
+from repro.waveform import l2_error
+
+
+def main():
+    # 1. A circuit: the paper's Fig. 4 RC tree (1 kΩ / 0.1 µF everywhere).
+    circuit = fig4_rc_tree()
+    print(f"circuit: {circuit.title}")
+    print(f"  {len(circuit.resistors)} resistors, {len(circuit.capacitors)} capacitors")
+
+    # 2. The classical baseline: Elmore delays by one O(n) tree walk.
+    elmore = elmore_delays(circuit)
+    print("\nElmore delays (the classical estimate):")
+    for node in ("1", "2", "3", "4"):
+        print(f"  node {node}: {fmt(elmore[node], 's')}")
+
+    # 3. AWE: one analyzer, many outputs and orders.  The 5 V step is the
+    #    stimulus; moments are computed once and shared.
+    analyzer = AweAnalyzer(circuit, {"Vin": Step(0.0, 5.0)})
+
+    print("\nAWE at node 4:")
+    for order in (1, 2, 3):
+        response = analyzer.response("4", order=order)
+        poles = ", ".join(f"{p.real:.4g}" for p in response.poles)
+        estimate = response.error_estimate
+        print(
+            f"  order {order}: poles [{poles}] 1/s, "
+            f"error estimate {estimate:.2%}, "
+            f"50% delay {fmt(response.delay_50(), 's')}"
+        )
+
+    # First-order AWE *is* the Elmore/Penfield-Rubinstein estimate:
+    first = analyzer.response("4", order=1)
+    assert np.isclose(first.poles[0].real, -1.0 / elmore["4"])
+    print(f"\n  (first-order pole = −1/T_D: {first.poles[0].real:.5g} = "
+          f"{-1/elmore['4']:.5g})")
+
+    # 4. Automatic order escalation to an accuracy target.
+    auto = analyzer.response("4", error_target=0.005)
+    print(f"\nauto order for 0.5% target: q = {auto.order} "
+          f"(estimate {auto.error_estimate:.3%})")
+
+    # 5. Trust but verify: compare with the transient simulator.
+    reference = simulate(circuit, {"Vin": Step(0.0, 5.0)}, 6e-3).voltage("4")
+    candidate = auto.waveform.to_waveform(reference.times)
+    print(f"true L2 error vs transient reference: "
+          f"{l2_error(reference, candidate):.3%}")
+    print(f"threshold (4.0 V) delay: AWE {fmt(auto.delay(4.0), 's')} vs "
+          f"reference {fmt(reference.threshold_delay(4.0), 's')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""AWEsim reproduction — Asymptotic Waveform Evaluation for timing analysis.
+
+A from-scratch Python implementation of
+
+    L. T. Pillage and R. A. Rohrer, "Asymptotic Waveform Evaluation for
+    Timing Analysis" (DAC 1989 / IEEE TCAD vol. 9 no. 4, 1990),
+
+together with every substrate the paper relies on: circuit netlists and a
+SPICE-deck parser, MNA-based DC/transient analysis (the SPICE stand-in),
+exact pole/modal references, the classical RC-tree delay methods AWE
+generalises (Elmore, Penfield–Rubinstein, two-pole, tree/link analysis),
+and a stage-based timing-analyzer application layer.
+
+Quickstart::
+
+    from repro import Circuit, Step, AweAnalyzer
+
+    ckt = Circuit("rc line")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", 1e3)
+    ckt.add_capacitor("C1", "1", "0", 1e-12)
+
+    analyzer = AweAnalyzer(ckt, {"Vin": Step(0.0, 5.0)})
+    response = analyzer.response("1", order=1)
+    print(response.poles, response.delay(threshold=2.5))
+"""
+
+from repro.analysis import (
+    DC,
+    PWL,
+    MnaSystem,
+    Pulse,
+    Ramp,
+    Step,
+    Stimulus,
+    circuit_poles,
+    simulate,
+)
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+    parse_netlist,
+    parse_netlist_file,
+)
+from repro.core import (
+    AweAnalyzer,
+    AweResponse,
+    AweWaveform,
+    PoleResidueModel,
+    awe_response,
+)
+from repro.errors import (
+    AnalysisError,
+    ApproximationError,
+    CircuitError,
+    MomentMatrixError,
+    NetlistParseError,
+    OrderLimitError,
+    ReproError,
+    SingularCircuitError,
+    TopologyError,
+    UnstableApproximationError,
+)
+from repro.waveform import Waveform, l2_error
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "ApproximationError",
+    "AweAnalyzer",
+    "AweResponse",
+    "AweWaveform",
+    "Capacitor",
+    "Circuit",
+    "CircuitError",
+    "CurrentSource",
+    "DC",
+    "Inductor",
+    "MnaSystem",
+    "MomentMatrixError",
+    "NetlistParseError",
+    "OrderLimitError",
+    "PWL",
+    "PoleResidueModel",
+    "Pulse",
+    "Ramp",
+    "ReproError",
+    "Resistor",
+    "SingularCircuitError",
+    "Step",
+    "Stimulus",
+    "TopologyError",
+    "UnstableApproximationError",
+    "VoltageSource",
+    "Waveform",
+    "awe_response",
+    "circuit_poles",
+    "l2_error",
+    "parse_netlist",
+    "parse_netlist_file",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Linear circuit analysis substrate: MNA, DC, poles, transient, sources."""
+
+from repro.analysis.dcop import (
+    StorageRates,
+    StorageState,
+    dc_operating_point,
+    equilibrium_storage_state,
+    final_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+    storage_state_from_mna,
+)
+from repro.analysis.mna import MnaIndexing, MnaSystem
+from repro.analysis.poles import (
+    ExactHomogeneousResponse,
+    ModalDecomposition,
+    circuit_poles,
+    exact_homogeneous_response,
+)
+from repro.analysis.sources import (
+    DC,
+    PWL,
+    Pulse,
+    Ramp,
+    RampEvent,
+    Step,
+    Stimulus,
+    complete_stimuli,
+    merge_event_times,
+)
+from repro.analysis.transient import TransientResult, simulate
+from repro.analysis.zeros import response_zeros, transfer_zeros
+
+__all__ = [
+    "DC",
+    "ExactHomogeneousResponse",
+    "MnaIndexing",
+    "MnaSystem",
+    "ModalDecomposition",
+    "PWL",
+    "Pulse",
+    "Ramp",
+    "RampEvent",
+    "Step",
+    "Stimulus",
+    "StorageRates",
+    "StorageState",
+    "TransientResult",
+    "circuit_poles",
+    "complete_stimuli",
+    "dc_operating_point",
+    "equilibrium_storage_state",
+    "exact_homogeneous_response",
+    "final_operating_point",
+    "initial_operating_point",
+    "merge_event_times",
+    "resolve_initial_storage_state",
+    "response_zeros",
+    "simulate",
+    "storage_state_from_mna",
+    "transfer_zeros",
+]

@@ -1,0 +1,432 @@
+"""Modified Nodal Analysis (MNA) stamping.
+
+Every linear analysis in this package — DC, AC, transient, exact poles, and
+the AWE moment recursion — starts from the same first-order descriptor
+system assembled here:
+
+.. math::
+
+    G x(t) + C \\dot x(t) = B u(t)
+
+where the unknown vector ``x`` stacks the non-ground node voltages followed
+by one branch current per element that needs one (voltage sources,
+inductors, VCVS, CCVS), and ``u`` stacks the independent source values.
+
+The paper works from state equations ``ẋ = Ax + Bu`` (its eq. 4) with
+``A⁻¹`` given by the hybrid port characterisation (its eq. 32).  The MNA
+descriptor form is algebraically equivalent — applying ``A⁻¹`` to a state
+vector is one solve with the (LU-factored) ``G`` matrix followed by a
+multiplication with ``C`` — and is the formulation actual AWE
+implementations (and SPICE itself) use, because ``G`` and ``C`` come
+straight from element stamps.
+
+Floating capacitive nodes
+-------------------------
+When a node connects to the rest of the circuit only through capacitors
+(paper Sec. III: its steady state "must be determined by the charge
+conservation equation"), ``G`` is singular.  :class:`MnaSystem` detects the
+conductively-isolated node groups and exposes a *charge-augmented* matrix
+``G_aug`` in which, per group, one redundant KCL row is replaced by the
+group's total-charge row (the sum of the corresponding ``C`` rows).  The
+DC, particular-solution and moment solves in the rest of the package then
+supply the appropriate conserved-charge right-hand sides for those rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+import scipy.linalg
+
+import networkx as nx
+
+from repro.circuit.elements import (
+    CCCS,
+    CCVS,
+    GROUND,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError, SingularCircuitError
+
+
+@dataclasses.dataclass(frozen=True)
+class MnaIndexing:
+    """Index maps for the MNA unknown and source vectors.
+
+    ``node_names[i]`` is the node whose voltage occupies position ``i``;
+    ``current_elements[j]`` is the element whose branch current occupies
+    position ``node_count + j``; ``source_names[k]`` names the independent
+    source driving column ``k`` of ``B``.
+    """
+
+    node_names: tuple[str, ...]
+    current_elements: tuple[str, ...]
+    source_names: tuple[str, ...]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.node_names) + len(self.current_elements)
+
+    @property
+    def source_count(self) -> int:
+        return len(self.source_names)
+
+    # Hash maps beat tuple.index() scans by ~n; they dominate stamping
+    # cost on 1000-node nets.  functools.cached_property writes straight
+    # into __dict__, which frozen dataclasses permit.
+
+    @functools.cached_property
+    def _node_map(self) -> dict[str, int]:
+        return {name: i for i, name in enumerate(self.node_names)}
+
+    @functools.cached_property
+    def _current_map(self) -> dict[str, int]:
+        offset = self.node_count
+        return {name: offset + i for i, name in enumerate(self.current_elements)}
+
+    @functools.cached_property
+    def _source_map(self) -> dict[str, int]:
+        return {name: i for i, name in enumerate(self.source_names)}
+
+    def node(self, name: str) -> int:
+        """Unknown-vector index of a node voltage."""
+        try:
+            return self._node_map[name]
+        except KeyError:
+            raise CircuitError(f"unknown node {name!r}") from None
+
+    def current(self, element_name: str) -> int:
+        """Unknown-vector index of an element's branch current."""
+        try:
+            return self._current_map[element_name]
+        except KeyError:
+            raise CircuitError(
+                f"element {element_name!r} carries no branch-current unknown"
+            ) from None
+
+    def source(self, name: str) -> int:
+        """Column of ``B`` for an independent source."""
+        try:
+            return self._source_map[name]
+        except KeyError:
+            raise CircuitError(f"unknown independent source {name!r}") from None
+
+
+#: Systems at or above this dimension factor through SuperLU (sparse) by
+#: default; below it, dense LAPACK wins on call overhead.
+_SPARSE_THRESHOLD = 192
+
+
+class MnaSystem:
+    """The assembled descriptor system ``G x + C ẋ = B u`` for a circuit.
+
+    Attributes
+    ----------
+    G, C:
+        Dense ``(dim, dim)`` conductance and storage matrices.
+    B:
+        Dense ``(dim, n_sources)`` input incidence matrix.
+    index:
+        The :class:`MnaIndexing` describing the vector layouts.
+    floating_groups:
+        Tuple of node-index groups that are conductively isolated from
+        ground; empty for ordinary circuits.
+    charge_rows:
+        For each floating group, the row of ``G_aug`` that was replaced by
+        the group's total-charge equation.
+
+    Parameters
+    ----------
+    sparse:
+        ``True``/``False`` forces the DC factorisation backend;
+        ``None`` (default) picks sparse SuperLU for systems of dimension
+        ≥ 192 (extracted nets are >99 % structurally sparse, and the
+        moment recursion is nothing but repeated solves with this one
+        factorisation — paper Sec. 3.2).
+    """
+
+    def __init__(self, circuit: Circuit, sparse: bool | None = None):
+        self.circuit = circuit
+        self.index = _build_indexing(circuit)
+        self.G, self.C, self.B = _stamp(circuit, self.index)
+        self.floating_groups = _find_floating_groups(circuit, self.index)
+        self.charge_rows = tuple(group[0] for group in self.floating_groups)
+        self.G_aug = self._augment_for_charge()
+        self.use_sparse = (
+            sparse
+            if sparse is not None
+            else self.index.dimension >= _SPARSE_THRESHOLD
+        )
+        self._lu = None
+
+    # -- assembly ------------------------------------------------------
+
+    def _augment_for_charge(self) -> np.ndarray:
+        """``G`` with, per floating group, one KCL row replaced by the sum
+        of the group's ``C`` rows (total-charge conservation)."""
+        if not self.floating_groups:
+            return self.G
+        G_aug = self.G.copy()
+        for group, row in zip(self.floating_groups, self.charge_rows):
+            G_aug[row, :] = self.C[list(group), :].sum(axis=0)
+        return G_aug
+
+    # -- solving -------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return self.index.dimension
+
+    def lu(self):
+        """Factorisation of the charge-augmented ``G`` (computed once,
+        reused by every DC solve and every moment — paper Sec. 3.2).
+
+        Returns the dense LAPACK (lu, piv) pair or a SuperLU object,
+        depending on :attr:`use_sparse`; callers should prefer
+        :meth:`solve_augmented`, which dispatches."""
+        if self._lu is None:
+            self._lu = self._factorise()
+        return self._lu
+
+    def _factorise(self):
+        import warnings
+
+        if self.use_sparse:
+            from scipy.sparse import csc_matrix
+            from scipy.sparse.linalg import splu
+
+            matrix = csc_matrix(self.G_aug)
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    factor = splu(matrix)
+            except RuntimeError as exc:  # SuperLU raises RuntimeError
+                raise SingularCircuitError(
+                    f"circuit {self.circuit.title!r} has no unique DC "
+                    f"solution: {exc}"
+                ) from exc
+            diag = np.abs(factor.U.diagonal())
+            self._check_diagonal(diag)
+            return factor
+
+        try:
+            with warnings.catch_warnings():
+                # Singularity is detected and reported below with a
+                # circuit-level message; the LAPACK warning is noise.
+                warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
+                factor = scipy.linalg.lu_factor(self.G_aug)
+        except scipy.linalg.LinAlgError as exc:
+            raise SingularCircuitError(
+                f"circuit {self.circuit.title!r} has no unique DC solution: {exc}"
+            ) from exc
+        if not np.all(np.isfinite(factor[0])):
+            raise SingularCircuitError(
+                f"circuit {self.circuit.title!r} has no unique DC solution"
+            )
+        self._check_diagonal(np.abs(np.diag(factor[0])))
+        return factor
+
+    def _check_diagonal(self, diag: np.ndarray) -> None:
+        scale = max(diag.max(initial=0.0), 1.0)
+        if not np.all(np.isfinite(diag)) or diag.min(initial=np.inf) <= scale * 1e-14:
+            raise SingularCircuitError(
+                f"circuit {self.circuit.title!r} has a (near-)singular DC system; "
+                "check for floating nodes, voltage-source loops, or "
+                "current-source cutsets"
+            )
+
+    def solve_augmented(
+        self, rhs: np.ndarray, charge_values: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Solve ``G_aug y = rhs`` with the charge rows of ``rhs`` replaced
+        by ``charge_values`` (default zero)."""
+        rhs = np.array(rhs, dtype=float, copy=True)
+        if self.charge_rows:
+            if charge_values is None:
+                charge_values = np.zeros(len(self.charge_rows))
+            rhs[list(self.charge_rows)] = charge_values
+        factor = self.lu()
+        if self.use_sparse:
+            return factor.solve(rhs)
+        return scipy.linalg.lu_solve(factor, rhs)
+
+    def source_vector(self, values: dict[str, float] | np.ndarray) -> np.ndarray:
+        """Build ``u`` from a name->value mapping (missing sources are 0)
+        or pass a correctly-sized array through."""
+        if isinstance(values, np.ndarray):
+            if values.shape != (self.index.source_count,):
+                raise CircuitError(
+                    f"source vector must have shape ({self.index.source_count},)"
+                )
+            return values
+        u = np.zeros(self.index.source_count)
+        for name, value in values.items():
+            u[self.index.source(name)] = value
+        return u
+
+    def group_charge(self, x: np.ndarray) -> np.ndarray:
+        """Total charge of each floating group for the MNA vector ``x``."""
+        return np.array(
+            [self.C[list(group), :].sum(axis=0) @ x for group in self.floating_groups]
+        )
+
+    def group_injection(self, u: np.ndarray) -> np.ndarray:
+        """Net source current injected into each floating group (must be
+        zero for a steady state to exist)."""
+        bu = self.B @ u
+        return np.array([bu[list(group)].sum() for group in self.floating_groups])
+
+
+def _build_indexing(circuit: Circuit) -> MnaIndexing:
+    node_names = tuple(circuit.nodes)
+    current_elements = tuple(e.name for e in circuit.current_variable_elements())
+    source_names = tuple(
+        e.name for e in circuit if isinstance(e, (VoltageSource, CurrentSource))
+    )
+    return MnaIndexing(node_names, current_elements, source_names)
+
+
+def _stamp(circuit: Circuit, index: MnaIndexing):
+    dim = index.dimension
+    G = np.zeros((dim, dim))
+    C = np.zeros((dim, dim))
+    B = np.zeros((dim, index.source_count))
+
+    def node(name: str) -> int | None:
+        return None if name == GROUND else index.node(name)
+
+    def stamp_pair(M: np.ndarray, i: int | None, j: int | None, value: float) -> None:
+        """Add ``value`` at (i, i)/(j, j) and ``-value`` at (i, j)/(j, i)."""
+        if i is not None:
+            M[i, i] += value
+            if j is not None:
+                M[i, j] -= value
+        if j is not None:
+            M[j, j] += value
+            if i is not None:
+                M[j, i] -= value
+
+    def stamp_branch_kcl(row_p: int | None, row_n: int | None, col: int) -> None:
+        """Branch current ``col`` leaves the positive node, enters the negative."""
+        if row_p is not None:
+            G[row_p, col] += 1.0
+        if row_n is not None:
+            G[row_n, col] -= 1.0
+
+    def stamp_branch_voltage(row: int, p: int | None, n: int | None) -> None:
+        """Row asserting V(p) - V(n) on the left-hand side."""
+        if p is not None:
+            G[row, p] += 1.0
+        if n is not None:
+            G[row, n] -= 1.0
+
+    def control_current_index(name: str) -> int:
+        if name not in circuit:
+            raise CircuitError(f"controlling element {name!r} does not exist")
+        return index.current(name)
+
+    for element in circuit:
+        p, n = node(element.positive), node(element.negative)
+        if isinstance(element, Resistor):
+            stamp_pair(G, p, n, element.conductance)
+        elif isinstance(element, Capacitor):
+            stamp_pair(C, p, n, element.capacitance)
+        elif isinstance(element, Inductor):
+            j = index.current(element.name)
+            stamp_branch_kcl(p, n, j)
+            stamp_branch_voltage(j, p, n)
+            C[j, j] -= element.inductance
+        elif isinstance(element, VoltageSource):
+            j = index.current(element.name)
+            stamp_branch_kcl(p, n, j)
+            stamp_branch_voltage(j, p, n)
+            B[j, index.source(element.name)] = 1.0
+        elif isinstance(element, CurrentSource):
+            k = index.source(element.name)
+            if p is not None:
+                B[p, k] -= 1.0
+            if n is not None:
+                B[n, k] += 1.0
+        elif isinstance(element, VCCS):
+            cp, cn = node(element.ctrl_positive), node(element.ctrl_negative)
+            for row, sign_row in ((p, +1.0), (n, -1.0)):
+                if row is None:
+                    continue
+                if cp is not None:
+                    G[row, cp] += sign_row * element.gain
+                if cn is not None:
+                    G[row, cn] -= sign_row * element.gain
+        elif isinstance(element, VCVS):
+            j = index.current(element.name)
+            stamp_branch_kcl(p, n, j)
+            stamp_branch_voltage(j, p, n)
+            cp, cn = node(element.ctrl_positive), node(element.ctrl_negative)
+            if cp is not None:
+                G[j, cp] -= element.gain
+            if cn is not None:
+                G[j, cn] += element.gain
+        elif isinstance(element, CCCS):
+            jc = control_current_index(element.control_element)
+            if p is not None:
+                G[p, jc] += element.gain
+            if n is not None:
+                G[n, jc] -= element.gain
+        elif isinstance(element, CCVS):
+            j = index.current(element.name)
+            jc = control_current_index(element.control_element)
+            stamp_branch_kcl(p, n, j)
+            stamp_branch_voltage(j, p, n)
+            G[j, jc] -= element.gain
+        else:  # pragma: no cover - new element types must be stamped here
+            raise CircuitError(f"no MNA stamp for element type {type(element).__name__}")
+
+    # Magnetic couplings: off-diagonal inductance-matrix terms on the
+    # coupled inductors' branch rows (v₁ = L₁i₁' + M i₂', and symmetric).
+    for coupling in circuit.mutual_inductances:
+        inductor_a = circuit[coupling.inductor_a]
+        inductor_b = circuit[coupling.inductor_b]
+        j1 = index.current(coupling.inductor_a)
+        j2 = index.current(coupling.inductor_b)
+        mutual = coupling.mutual(inductor_a.inductance, inductor_b.inductance)
+        C[j1, j2] -= mutual
+        C[j2, j1] -= mutual
+
+    return G, C, B
+
+
+def _find_floating_groups(circuit: Circuit, index: MnaIndexing) -> tuple[tuple[int, ...], ...]:
+    """Node-index groups with no conductive path to ground.
+
+    The conductive graph joins nodes through resistors, inductors, voltage
+    sources and the output/control ports of VCVS/CCVS (whose branch
+    equations pin their output voltage).  Capacitors and current sources do
+    not conduct at DC.  Any connected component that does not contain
+    ground is a floating group whose DC state is fixed only by charge
+    conservation (paper Sec. III).
+    """
+    graph = nx.Graph()
+    graph.add_node(GROUND)
+    for name in index.node_names:
+        graph.add_node(name)
+    for element in circuit:
+        if isinstance(element, (Resistor, Inductor, VoltageSource, VCVS, CCVS)):
+            graph.add_edge(element.positive, element.negative)
+    groups = []
+    for component in nx.connected_components(graph):
+        if GROUND in component:
+            continue
+        groups.append(tuple(sorted(index.node(name) for name in component)))
+    return tuple(sorted(groups))

@@ -1,0 +1,156 @@
+"""Exact natural frequencies and exact linear transient responses.
+
+The paper's Tables I and II compare AWE's approximating poles with the
+circuit's *actual* poles.  For a descriptor system ``G x + C ẋ = B u`` the
+natural frequencies are the finite eigenvalues of the pencil
+``(−G, C)`` — values ``s`` with ``(G + sC)v = 0``.  Because our circuits
+are small (the paper's largest has ~12 states) the dense QZ algorithm is
+exact for all practical purposes.
+
+The same eigendecomposition yields a closed-form transient response
+(:func:`exact_homogeneous_response`), which this reproduction uses as the
+reference waveform in place of the authors' SPICE runs: it solves the same
+lumped linear model with no time-discretisation error at all, so every
+difference from AWE is genuinely AWE's approximation error.  The companion
+trapezoidal simulator (:mod:`repro.analysis.transient`) cross-checks it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import scipy.linalg
+
+from repro.analysis.mna import MnaSystem
+from repro.errors import AnalysisError
+
+#: Generalised eigenvalues with |alpha/beta| above this are the pencil's
+#: "infinite" eigenvalues (non-dynamic MNA rows) and are discarded.
+_INFINITE_CUTOFF = 1e300
+
+
+@dataclasses.dataclass(frozen=True)
+class ModalDecomposition:
+    """Finite eigen-structure of the circuit pencil.
+
+    ``poles[i]`` (rad/s, possibly complex) pairs with column ``i`` of
+    ``modes``; together they span the dynamic subspace of the MNA vector.
+    """
+
+    poles: np.ndarray
+    modes: np.ndarray
+
+    @property
+    def order(self) -> int:
+        return len(self.poles)
+
+    def sorted_by_dominance(self) -> np.ndarray:
+        """Poles ordered from dominant (smallest |p|, nearest the origin)
+        outward — the order in which AWE approximations 'creep up on' them
+        (paper Sec. 5.1, Tables I–II)."""
+        return self.poles[np.argsort(np.abs(self.poles))]
+
+
+def circuit_poles(system: MnaSystem, tol: float = 1e-9) -> ModalDecomposition:
+    """All finite natural frequencies of the circuit, with mode shapes.
+
+    ``tol`` controls the relative magnitude beyond which an eigenvalue is
+    treated as one of the pencil's infinite (non-dynamic) eigenvalues.
+    """
+    norm_G = np.linalg.norm(system.G)
+    norm_C = np.linalg.norm(system.C)
+    if norm_C == 0.0:
+        return ModalDecomposition(np.array([], dtype=complex),
+                                  np.zeros((system.dimension, 0), dtype=complex))
+    # Pre-scale the storage matrix so finite eigenvalues are O(1): the
+    # conductance and capacitance stamps differ by ~12 decades for
+    # nanosecond circuits, which would otherwise defeat any absolute
+    # finite/infinite threshold.
+    omega = norm_G / norm_C
+    alpha, beta, vr = _eigenpairs(system, omega)
+    magnitude = np.hypot(np.abs(alpha), np.abs(beta))
+    finite = np.abs(beta) > tol * magnitude
+    poles = (alpha[finite] / beta[finite]) * omega
+    modes = vr[:, finite]
+    # A physically sensible circuit cannot have more dynamic modes than
+    # storage elements.
+    if len(poles) > system.circuit.state_count:
+        raise AnalysisError(
+            "more finite poles than storage elements; the circuit pencil is "
+            "numerically degenerate"
+        )
+    order = np.argsort(np.abs(poles))
+    return ModalDecomposition(poles[order], modes[:, order])
+
+
+def _eigenpairs(system: MnaSystem, omega: float):
+    """Generalised eigenpairs of the scaled pencil (−G, ω·C)."""
+    eigenvalues, vr = scipy.linalg.eig(
+        -system.G, system.C * omega, homogeneous_eigvals=True
+    )
+    alpha, beta = eigenvalues
+    return alpha, beta, vr
+
+
+@dataclasses.dataclass(frozen=True)
+class ExactHomogeneousResponse:
+    """Closed-form homogeneous response ``y(t) = Σ_i c_i v_i e^{p_i t}``.
+
+    ``amplitudes[i]`` scales mode column ``i``.  Evaluation returns real
+    waveforms (the imaginary residue of conjugate-pair arithmetic is
+    verified to be negligible).
+    """
+
+    poles: np.ndarray
+    modes: np.ndarray
+    amplitudes: np.ndarray
+    residual: float
+
+    def evaluate(self, row: int, times: np.ndarray) -> np.ndarray:
+        """Homogeneous response of MNA unknown ``row`` sampled at ``times``."""
+        times = np.asarray(times, dtype=float)
+        coeffs = self.amplitudes * self.modes[row, :]
+        values = np.zeros(times.shape, dtype=complex)
+        for coeff, pole in zip(coeffs, self.poles):
+            values += coeff * np.exp(pole * times)
+        return _realise(values)
+
+    def component_residues(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (poles, residues) of one MNA unknown's homogeneous response —
+        the exact counterpart of an AWE pole/residue model."""
+        return self.poles, self.amplitudes * self.modes[row, :]
+
+
+def exact_homogeneous_response(
+    system: MnaSystem, y0: np.ndarray, decomposition: ModalDecomposition | None = None
+) -> ExactHomogeneousResponse:
+    """Expand a homogeneous initial state on the circuit's modes.
+
+    ``y0`` must be a *consistent* homogeneous state (an actual reachable
+    state of the dynamics, e.g. ``x(0⁺) − x_p(0)``); it then lies in the
+    span of the dynamic modes and the least-squares expansion is exact.
+    The reported ``residual`` is the relative expansion defect — large
+    values indicate an inconsistent initial vector.
+    """
+    if decomposition is None:
+        decomposition = circuit_poles(system)
+    modes = decomposition.modes
+    amplitudes, *_ = np.linalg.lstsq(modes, y0.astype(complex), rcond=None)
+    defect = np.linalg.norm(modes @ amplitudes - y0)
+    scale = np.linalg.norm(y0)
+    residual = float(defect / scale) if scale > 0 else float(defect)
+    return ExactHomogeneousResponse(
+        decomposition.poles, modes, amplitudes, residual
+    )
+
+
+def _realise(values: np.ndarray, tolerance: float = 1e-6) -> np.ndarray:
+    """Drop a negligible imaginary part, loudly if it is not negligible."""
+    scale = np.abs(values).max(initial=0.0)
+    if scale > 0 and np.abs(values.imag).max() > tolerance * scale:
+        raise AnalysisError(
+            "complex arithmetic left a non-negligible imaginary part; "
+            "the modal expansion is inconsistent"
+        )
+    return values.real.copy()

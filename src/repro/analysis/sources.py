@@ -1,0 +1,297 @@
+"""Input stimulus waveforms.
+
+AWE (paper Sec. III) handles excitations of the form ``u(t) = u0 + u1·t``
+— steps and ramps — and builds everything else by superposition of delayed
+copies (Sec. 4.3, Fig. 13: a finite-rise-time step is a positive-going ramp
+plus a delayed negative-going ramp).  Each stimulus here therefore knows how
+to decompose itself into :class:`RampEvent` breakpoints; the AWE driver
+solves one step/ramp subproblem per distinct event time and superposes the
+resulting pole/residue models, while the transient simulator simply
+evaluates :meth:`Stimulus.value` on its time grid.
+
+All stimuli are callable and vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RampEvent:
+    """A breakpoint in a piecewise-linear stimulus.
+
+    At ``time`` the stimulus jumps by ``step`` and its slope changes by
+    ``slope_delta``, i.e. the stimulus is
+
+    ``u(t) = initial_value + Σ_events [step·H(t−t_e) + slope_delta·(t−t_e)·H(t−t_e)]``.
+    """
+
+    time: float
+    step: float = 0.0
+    slope_delta: float = 0.0
+
+
+class Stimulus:
+    """Base stimulus interface."""
+
+    def value(self, t):
+        """Stimulus value at time(s) ``t`` (vectorised)."""
+        raise NotImplementedError
+
+    def __call__(self, t):
+        return self.value(t)
+
+    @property
+    def initial_value(self) -> float:
+        """Value for t < first event — the pre-switching DC level used to
+        compute the equilibrium state the transient starts from."""
+        raise NotImplementedError
+
+    @property
+    def final_value(self) -> float:
+        """Value as t → ∞ of the constant part (slope must end at zero for
+        a steady state to exist; PWL stimuli hold their last level)."""
+        events = self.events()
+        level = self.initial_value
+        slope = 0.0
+        slope_scale = 0.0
+        for event in events:
+            level += event.step
+            slope += event.slope_delta
+            slope_scale = max(slope_scale, abs(event.slope_delta))
+        # Slopes of opposite events cancel in floating point only
+        # approximately; tolerate the round-off residue.
+        if abs(slope) > 1e-9 * max(slope_scale, 1.0):
+            raise AnalysisError("stimulus ramps forever; no final value exists")
+        # The constant part of the final level also includes accumulated
+        # ramp contributions: recompute exactly via value() at the last event.
+        if not events:
+            return level
+        return float(self.value(np.asarray(events[-1].time)))
+
+    def events(self) -> list[RampEvent]:
+        """The breakpoint decomposition, sorted by time, events merged."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DC(Stimulus):
+    """A constant source (no transient events)."""
+
+    level: float = 0.0
+
+    def value(self, t):
+        return np.full_like(np.asarray(t, dtype=float), self.level)
+
+    @property
+    def initial_value(self) -> float:
+        return self.level
+
+    def events(self) -> list[RampEvent]:
+        return []
+
+
+@dataclass(frozen=True)
+class Step(Stimulus):
+    """An ideal step from ``v0`` to ``v1`` at ``delay``."""
+
+    v0: float = 0.0
+    v1: float = 1.0
+    delay: float = 0.0
+
+    def value(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.where(t >= self.delay, self.v1, self.v0)
+
+    @property
+    def initial_value(self) -> float:
+        return self.v0
+
+    def events(self) -> list[RampEvent]:
+        return [RampEvent(self.delay, step=self.v1 - self.v0)]
+
+
+@dataclass(frozen=True)
+class Ramp(Stimulus):
+    """A finite-rise-time transition: ``v0`` until ``delay``, linear to
+    ``v1`` over ``rise_time``, then held (paper Fig. 13)."""
+
+    v0: float = 0.0
+    v1: float = 1.0
+    rise_time: float = 1.0
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.rise_time <= 0:
+            raise AnalysisError("Ramp rise_time must be positive; use Step for 0")
+
+    def value(self, t):
+        t = np.asarray(t, dtype=float)
+        frac = np.clip((t - self.delay) / self.rise_time, 0.0, 1.0)
+        return self.v0 + (self.v1 - self.v0) * frac
+
+    @property
+    def initial_value(self) -> float:
+        return self.v0
+
+    def events(self) -> list[RampEvent]:
+        slope = (self.v1 - self.v0) / self.rise_time
+        return [
+            RampEvent(self.delay, slope_delta=+slope),
+            RampEvent(self.delay + self.rise_time, slope_delta=-slope),
+        ]
+
+
+@dataclass(frozen=True)
+class Pulse(Stimulus):
+    """A single trapezoidal pulse (SPICE PULSE without periodic repeat).
+
+    ``v0`` → ``v1`` over ``rise``, held for ``width``, back over ``fall``.
+    Zero ``rise``/``fall`` degenerate to ideal steps.
+    """
+
+    v0: float = 0.0
+    v1: float = 1.0
+    delay: float = 0.0
+    rise: float = 0.0
+    width: float = 1.0
+    fall: float = 0.0
+
+    def __post_init__(self):
+        if self.rise < 0 or self.fall < 0 or self.width < 0:
+            raise AnalysisError("Pulse rise/width/fall must be non-negative")
+
+    def _breakpoints(self) -> list[tuple[float, float]]:
+        t0 = self.delay
+        t1 = t0 + self.rise
+        t2 = t1 + self.width
+        t3 = t2 + self.fall
+        return [(t0, self.v0), (t1, self.v1), (t2, self.v1), (t3, self.v0)]
+
+    def value(self, t):
+        return _pwl_value(self._breakpoints(), self.v0, t)
+
+    @property
+    def initial_value(self) -> float:
+        return self.v0
+
+    def events(self) -> list[RampEvent]:
+        return _pwl_events(self._breakpoints())
+
+
+@dataclass(frozen=True)
+class PWL(Stimulus):
+    """Piecewise-linear stimulus through ``points`` = [(t, v), ...].
+
+    Holds the first value before the first point and the last value after
+    the last point.  Two points at the same time encode an ideal step.
+    """
+
+    points: tuple[tuple[float, float], ...] = ()
+
+    def __init__(self, points):
+        object.__setattr__(self, "points", tuple((float(t), float(v)) for t, v in points))
+        if len(self.points) < 1:
+            raise AnalysisError("PWL needs at least one point")
+        times = [t for t, _ in self.points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise AnalysisError("PWL points must be sorted by time")
+
+    def value(self, t):
+        return _pwl_value(list(self.points), self.points[0][1], t)
+
+    @property
+    def initial_value(self) -> float:
+        return self.points[0][1]
+
+    def events(self) -> list[RampEvent]:
+        return _pwl_events(list(self.points))
+
+
+def _pwl_value(points: list[tuple[float, float]], v_before: float, t):
+    t = np.asarray(t, dtype=float)
+    times = np.array([p[0] for p in points])
+    values = np.array([p[1] for p in points])
+    # np.interp handles duplicate abscissae by taking the later value, which
+    # matches the "step at that instant" reading of coincident points.
+    result = np.interp(t, times, values, left=v_before, right=values[-1])
+    return result
+
+
+def _pwl_events(points: list[tuple[float, float]]) -> list[RampEvent]:
+    """Convert breakpoints into merged step/slope-delta events."""
+    raw: dict[float, RampEvent] = {}
+
+    def add(time: float, step: float = 0.0, slope_delta: float = 0.0) -> None:
+        old = raw.get(time, RampEvent(time))
+        raw[time] = RampEvent(
+            time, step=old.step + step, slope_delta=old.slope_delta + slope_delta
+        )
+
+    slope_before = 0.0
+    previous_time, previous_value = points[0]
+    for time, value in points[1:]:
+        if time == previous_time:
+            if value != previous_value:
+                add(time, step=value - previous_value)
+        else:
+            slope = (value - previous_value) / (time - previous_time)
+            if not np.isfinite(slope):
+                raise AnalysisError(
+                    f"breakpoints at t = {previous_time!r} and {time!r} are "
+                    "too close to resolve; merge them into a step"
+                )
+            add(previous_time, slope_delta=slope - slope_before)
+            slope_before = slope
+        previous_time, previous_value = time, value
+    # Flatten out after the last point.
+    add(previous_time, slope_delta=-slope_before)
+
+    events = [e for e in sorted(raw.values(), key=lambda e: e.time)
+              if e.step != 0.0 or e.slope_delta != 0.0]
+    return events
+
+
+def complete_stimuli(circuit, stimuli: dict[str, Stimulus], source_order) -> dict[str, Stimulus]:
+    """Give every independent source in the circuit a stimulus.
+
+    Sources not named in ``stimuli`` get a :class:`Step` from their element
+    ``dc0`` to ``dc`` value at t = 0 (or a :class:`DC` hold when the two are
+    equal).  Raises on stimuli naming unknown sources.
+    """
+    completed: dict[str, Stimulus] = {}
+    for name in source_order:
+        if name in stimuli:
+            completed[name] = stimuli[name]
+        else:
+            element = circuit[name]
+            if element.dc0 != element.dc:
+                completed[name] = Step(v0=element.dc0, v1=element.dc, delay=0.0)
+            else:
+                completed[name] = DC(element.dc)
+    unknown = set(stimuli) - set(source_order)
+    if unknown:
+        raise AnalysisError(f"stimuli reference unknown sources: {sorted(unknown)}")
+    return completed
+
+
+def merge_event_times(stimuli: dict[str, Stimulus]) -> list[float]:
+    """All distinct event times across a set of named stimuli, sorted."""
+    times = {event.time for stim in stimuli.values() for event in stim.events()}
+    return sorted(times)
+
+
+def excitation_at(stimuli: dict[str, Stimulus], source_order: list[str], t: float) -> np.ndarray:
+    """Vector of stimulus values at time ``t`` in ``source_order``; sources
+    without a stimulus contribute 0."""
+    u = np.zeros(len(source_order))
+    for k, name in enumerate(source_order):
+        if name in stimuli:
+            u[k] = float(np.asarray(stimuli[name].value(t)))
+    return u

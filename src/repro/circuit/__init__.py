@@ -1,0 +1,59 @@
+"""Circuit representation: elements, netlists, parsing, topology."""
+
+from repro.circuit.elements import (
+    CCCS,
+    CCVS,
+    GROUND,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+    canonical_node,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.parser import ParsedDeck, parse_netlist, parse_netlist_file
+from repro.circuit.topology import (
+    RcTree,
+    TreeLinkPartition,
+    analyze_rc_tree,
+    is_rc_tree,
+    tree_link_partition,
+)
+from repro.circuit.units import format_engineering, parse_value
+from repro.circuit.validation import validate_for_analysis
+from repro.circuit.writer import write_netlist, write_netlist_file
+
+__all__ = [
+    "CCCS",
+    "CCVS",
+    "GROUND",
+    "VCCS",
+    "VCVS",
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "Element",
+    "Inductor",
+    "MutualInductance",
+    "ParsedDeck",
+    "RcTree",
+    "Resistor",
+    "TreeLinkPartition",
+    "VoltageSource",
+    "analyze_rc_tree",
+    "canonical_node",
+    "format_engineering",
+    "is_rc_tree",
+    "parse_netlist",
+    "parse_netlist_file",
+    "parse_value",
+    "tree_link_partition",
+    "validate_for_analysis",
+    "write_netlist",
+    "write_netlist_file",
+]

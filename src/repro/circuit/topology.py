@@ -1,0 +1,258 @@
+"""Topology queries: RC-tree recognition, spanning trees, tree/link partition.
+
+The classical delay methods of the paper's Sec. II are only defined on
+*RC trees*: "RC circuits with capacitors from all nodes to ground, no
+floating capacitors, no resistor loops, and no resistors to ground"
+(with the driving source at the root).  :func:`analyze_rc_tree` checks the
+definition and, when it holds, returns the rooted tree structure the
+Elmore tree-walk needs.
+
+:func:`tree_link_partition` implements the general tree/link split of the
+paper's Sec. IV: a spanning tree of the circuit graph is chosen preferring
+voltage sources, then resistors, then inductors (so capacitors — the
+current-source-like branches — become links whenever possible, which is
+what makes the RC-tree moment solution explicit, Fig. 6).  Elements that
+do not fit in the tree become links; a resistor forced into the links
+(e.g. the grounded resistor of Fig. 9/10) signals that the DC solution is
+not explicit and a small linear solve is required.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+
+from repro.circuit.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.errors import TopologyError
+
+
+@dataclasses.dataclass(frozen=True)
+class RcTree:
+    """A validated RC tree rooted at the driving source.
+
+    ``parent[node]`` gives (parent_node, resistor) walking toward the
+    root; ``children[node]`` the inverse adjacency; ``capacitance[node]``
+    the grounded capacitance at each node (0.0 where none); ``root`` the
+    node driven by the source resistance path.
+    """
+
+    root: str
+    source_name: str
+    parent: dict[str, tuple[str, Resistor]]
+    children: dict[str, tuple[str, ...]]
+    capacitance: dict[str, float]
+
+    @property
+    def nodes(self) -> list[str]:
+        """All tree nodes in breadth-first order from the root."""
+        order = [self.root]
+        frontier = [self.root]
+        while frontier:
+            node = frontier.pop(0)
+            for child in self.children.get(node, ()):
+                order.append(child)
+                frontier.append(child)
+        return order
+
+    def path_to_root(self, node: str) -> list[tuple[str, Resistor]]:
+        """The resistor chain from ``node`` up to the root."""
+        path = []
+        current = node
+        while current != self.root:
+            parent, resistor = self.parent[current]
+            path.append((current, resistor))
+            current = parent
+        return path
+
+    def path_resistance(self, node_a: str, node_b: str) -> float:
+        """Total resistance of the shared path to the root, ``R_{ab}`` in
+        the Penfield–Rubinstein/Elmore formulas: the resistance common to
+        the root→a and root→b paths."""
+        ancestors_a = {}
+        total = 0.0
+        current = node_a
+        chain = []
+        while current != self.root:
+            parent, resistor = self.parent[current]
+            chain.append((current, resistor))
+            current = parent
+        resistance_to_root = {}
+        running = 0.0
+        for node, resistor in reversed(chain):
+            running += resistor.resistance
+            resistance_to_root[node] = running
+        # Walk b's path; the deepest node also on a's path closes the shared part.
+        current = node_b
+        shared = 0.0
+        while current != self.root:
+            if current in resistance_to_root:
+                shared = resistance_to_root[current]
+                break
+            parent, _ = self.parent[current]
+            current = parent
+        return shared if current != self.root else shared
+
+    def path_nodes(self, node: str) -> list[str]:
+        """Nodes from the root down to ``node`` inclusive."""
+        chain = [node]
+        current = node
+        while current != self.root:
+            parent, _ = self.parent[current]
+            chain.append(parent)
+            current = parent
+        return list(reversed(chain))
+
+
+def analyze_rc_tree(circuit: Circuit) -> RcTree:
+    """Validate the RC-tree restrictions and build the rooted structure.
+
+    Requirements (paper Sec. II): exactly one voltage source whose negative
+    terminal is ground; resistors form a tree rooted at the source's
+    positive node; every capacitor is grounded; no other element types.
+    """
+    sources = circuit.voltage_sources
+    if len(sources) != 1:
+        raise TopologyError(f"an RC tree needs exactly one source, found {len(sources)}")
+    source = sources[0]
+    if source.negative != GROUND:
+        raise TopologyError("the RC-tree source must return to ground")
+    root = source.positive
+
+    for element in circuit:
+        if isinstance(element, (VoltageSource, Resistor)):
+            continue
+        if isinstance(element, Capacitor):
+            if element.is_floating:
+                raise TopologyError(
+                    f"floating capacitor {element.name!r}: not an RC tree "
+                    "(use AWE, paper Sec. 5.3)"
+                )
+            continue
+        raise TopologyError(
+            f"{type(element).__name__} {element.name!r} is not admissible in an RC tree"
+        )
+
+    graph = nx.Graph()
+    for resistor in circuit.resistors:
+        if GROUND in resistor.nodes:
+            raise TopologyError(
+                f"resistor {resistor.name!r} to ground: not an RC tree "
+                "(use the grounded-resistor extension, paper Sec. 2.2)"
+            )
+        if graph.has_edge(*resistor.nodes):
+            raise TopologyError("parallel resistors form a loop; not an RC tree")
+        graph.add_edge(resistor.positive, resistor.negative, resistor=resistor)
+    if root not in graph:
+        raise TopologyError(f"no resistor connects to the driving node {root!r}")
+    if not nx.is_tree(graph):
+        raise TopologyError("resistors form loops or a disconnected graph; not an RC tree")
+
+    parent: dict[str, tuple[str, Resistor]] = {}
+    children: dict[str, list[str]] = {node: [] for node in graph.nodes}
+    for node_from, node_to in nx.bfs_edges(graph, root):
+        parent[node_to] = (node_from, graph.edges[node_from, node_to]["resistor"])
+        children[node_from].append(node_to)
+
+    capacitance = {node: 0.0 for node in graph.nodes}
+    for cap in circuit.capacitors:
+        node = cap.positive if cap.negative == GROUND else cap.negative
+        if node not in capacitance:
+            raise TopologyError(
+                f"capacitor {cap.name!r} hangs on node {node!r} outside the resistor tree"
+            )
+        capacitance[node] += cap.capacitance
+
+    return RcTree(
+        root=root,
+        source_name=source.name,
+        parent=parent,
+        children={node: tuple(kids) for node, kids in children.items()},
+        capacitance=capacitance,
+    )
+
+
+def is_rc_tree(circuit: Circuit) -> bool:
+    """True when :func:`analyze_rc_tree` accepts the circuit."""
+    try:
+        analyze_rc_tree(circuit)
+    except TopologyError:
+        return False
+    return True
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeLinkPartition:
+    """A spanning-tree / link split of the circuit graph (paper Sec. IV).
+
+    ``tree`` holds the spanning-tree elements; ``links`` the rest.  When
+    ``explicit_dc`` is true, every link is a capacitor or current source
+    and the DC/moment solutions are explicit (solvable by one tree walk,
+    paper Figs. 6/8); otherwise resistive links (Fig. 10) force a reduced
+    linear solve of one equation per resistive link.
+    """
+
+    tree: tuple[Element, ...]
+    links: tuple[Element, ...]
+
+    @property
+    def explicit_dc(self) -> bool:
+        return all(
+            isinstance(link, (Capacitor, CurrentSource)) for link in self.links
+        )
+
+
+#: Spanning-tree preference order: voltage-defining branches first so that
+#: capacitors land in the links (paper Sec. IV).
+_TREE_PRIORITY = {VoltageSource: 0, Resistor: 1, Inductor: 2, Capacitor: 3, CurrentSource: 4}
+
+
+def tree_link_partition(circuit: Circuit) -> TreeLinkPartition:
+    """Partition elements into a spanning tree and links.
+
+    Elements are offered to a union-find in priority order (sources,
+    resistors, inductors, then capacitors, then current sources); an
+    element joining two already-connected nodes becomes a link.  Controlled
+    sources are always links.
+    """
+    parent_of: dict[str, str] = {}
+
+    def find(node: str) -> str:
+        root = node
+        while parent_of.get(root, root) != root:
+            root = parent_of[root]
+        while parent_of.get(node, node) != node:
+            parent_of[node], node = root, parent_of[node]
+        return root
+
+    def union(a: str, b: str) -> bool:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent_of[ra] = rb
+        return True
+
+    ordered = sorted(
+        circuit,
+        key=lambda e: _TREE_PRIORITY.get(type(e), 9),
+    )
+    tree: list[Element] = []
+    links: list[Element] = []
+    for element in ordered:
+        if _TREE_PRIORITY.get(type(element), 9) > 4:
+            links.append(element)
+            continue
+        if union(element.positive, element.negative):
+            tree.append(element)
+        else:
+            links.append(element)
+    return TreeLinkPartition(tuple(tree), tuple(links))

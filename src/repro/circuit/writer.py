@@ -1,0 +1,148 @@
+"""Netlist writer: serialise a :class:`Circuit` back to a SPICE-style deck.
+
+The inverse of :mod:`repro.circuit.parser`.  Useful for exporting
+programmatically built or modified circuits (e.g. after sensitivity-driven
+resizing), for golden files in regression suites, and for moving test
+cases to an external SPICE.  Round-tripping is covered by property tests:
+``parse(write(circuit))`` reproduces every element value exactly
+(values are emitted in full ``repr`` precision, not engineering-rounded).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step, Stimulus
+from repro.circuit.elements import (
+    CCCS,
+    CCVS,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+
+def _value(x: float) -> str:
+    """Full-precision value text (parses back bit-exact)."""
+    return repr(float(x))
+
+
+def _source_card(element, stimulus: Stimulus | None) -> str:
+    base = f"{element.name} {element.positive} {element.negative}"
+    if stimulus is None:
+        return f"{base} DC {_value(element.dc)}"
+    if isinstance(stimulus, DC):
+        return f"{base} DC {_value(stimulus.level)}"
+    if isinstance(stimulus, Step):
+        return f"{base} STEP({_value(stimulus.v0)} {_value(stimulus.v1)} {_value(stimulus.delay)})"
+    if isinstance(stimulus, Ramp):
+        # A ramp is PWL with three breakpoints.
+        t0, t1 = stimulus.delay, stimulus.delay + stimulus.rise_time
+        return (f"{base} PWL(0 {_value(stimulus.v0)} {_value(t0)} {_value(stimulus.v0)} "
+                f"{_value(t1)} {_value(stimulus.v1)})")
+    if isinstance(stimulus, Pulse):
+        return (f"{base} PULSE({_value(stimulus.v0)} {_value(stimulus.v1)} "
+                f"{_value(stimulus.delay)} {_value(stimulus.rise)} "
+                f"{_value(stimulus.fall)} {_value(stimulus.width)})")
+    if isinstance(stimulus, PWL):
+        points = " ".join(f"{_value(t)} {_value(v)}" for t, v in stimulus.points)
+        return f"{base} PWL({points})"
+    raise CircuitError(f"cannot serialise stimulus type {type(stimulus).__name__}")
+
+
+def write_netlist(
+    circuit: Circuit,
+    stimuli: dict[str, Stimulus] | None = None,
+    title: str | None = None,
+) -> str:
+    """Serialise ``circuit`` (and optional source stimuli) to deck text.
+
+    The first line is the title (the circuit's own unless overridden);
+    element cards follow in insertion order, magnetic couplings last
+    (the parser requires their inductors to exist first), then ``.end``.
+    """
+    stimuli = stimuli or {}
+    _check_card_letters(circuit)
+    lines = [title if title is not None else (circuit.title or "untitled circuit")]
+    for element in circuit:
+        if isinstance(element, Resistor):
+            lines.append(
+                f"{element.name} {element.positive} {element.negative} "
+                f"{_value(element.resistance)}"
+            )
+        elif isinstance(element, Capacitor):
+            card = (f"{element.name} {element.positive} {element.negative} "
+                    f"{_value(element.capacitance)}")
+            if element.initial_voltage is not None:
+                card += f" IC={_value(element.initial_voltage)}"
+            lines.append(card)
+        elif isinstance(element, Inductor):
+            card = (f"{element.name} {element.positive} {element.negative} "
+                    f"{_value(element.inductance)}")
+            if element.initial_current is not None:
+                card += f" IC={_value(element.initial_current)}"
+            lines.append(card)
+        elif isinstance(element, (VoltageSource, CurrentSource)):
+            lines.append(_source_card(element, stimuli.get(element.name)))
+        elif isinstance(element, (VCCS, VCVS)):
+            lines.append(
+                f"{element.name} {element.positive} {element.negative} "
+                f"{element.ctrl_positive} {element.ctrl_negative} {_value(element.gain)}"
+            )
+        elif isinstance(element, (CCCS, CCVS)):
+            lines.append(
+                f"{element.name} {element.positive} {element.negative} "
+                f"{element.control_element} {_value(element.gain)}"
+            )
+        else:  # pragma: no cover - future element types
+            raise CircuitError(f"cannot serialise element type {type(element).__name__}")
+    for coupling in circuit.mutual_inductances:
+        lines.append(
+            f"{coupling.name} {coupling.inductor_a} {coupling.inductor_b} "
+            f"{_value(coupling.coupling)}"
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+_CARD_LETTER = {
+    Resistor: "r",
+    Capacitor: "c",
+    Inductor: "l",
+    VoltageSource: "v",
+    CurrentSource: "i",
+    VCCS: "g",
+    VCVS: "e",
+    CCCS: "f",
+    CCVS: "h",
+}
+
+
+def _check_card_letters(circuit: Circuit) -> None:
+    """SPICE decks encode the element type in the name's first letter; a
+    mismatched name would parse back as a different element."""
+    problems = []
+    for element in circuit:
+        expected = _CARD_LETTER.get(type(element))
+        if expected and not element.name.lower().startswith(expected):
+            problems.append(
+                f"{type(element).__name__} {element.name!r} must start with "
+                f"{expected.upper()!r}"
+            )
+    for coupling in circuit.mutual_inductances:
+        if not coupling.name.lower().startswith("k"):
+            problems.append(f"MutualInductance {coupling.name!r} must start with 'K'")
+    if problems:
+        raise CircuitError(
+            "circuit is not deck-serialisable: " + "; ".join(problems)
+        )
+
+
+def write_netlist_file(path, circuit: Circuit, stimuli=None, title=None) -> None:
+    """Write the deck to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_netlist(circuit, stimuli, title))

@@ -1,0 +1,207 @@
+"""Command-line interface: deck in, timing/pole/waveform report out.
+
+Installed as ``python -m repro``.  Three subcommands:
+
+``report``
+    AWE timing report for one or more nodes: order (fixed or automatic),
+    poles, error estimate, final value, 50 %/threshold delays.
+
+``poles``
+    Exact natural frequencies of the deck (the reference AWE approximates)
+    and, optionally, the AWE poles at a given order for comparison.
+
+``simulate``
+    Run the SPICE-style transient reference and dump CSV samples — the
+    escape hatch for inspecting any waveform exactly.
+
+Examples::
+
+    python -m repro report net.sp --node out --target 0.01 --threshold 2.5
+    python -m repro poles net.sp --order 2 --node out --source Vin
+    python -m repro simulate net.sp --node out --t-stop 5e-9 --csv out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.mna import MnaSystem
+from repro.analysis.poles import circuit_poles
+from repro.analysis.transient import simulate
+from repro.circuit.parser import parse_netlist_file
+from repro.circuit.units import format_engineering as fmt
+from repro.core.driver import AweAnalyzer
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AWE (Asymptotic Waveform Evaluation) timing analysis",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="AWE timing report")
+    report.add_argument("deck", help="SPICE-style netlist file")
+    report.add_argument("--node", action="append", required=True,
+                        help="output node (repeatable)")
+    group = report.add_mutually_exclusive_group()
+    group.add_argument("--order", type=int, help="fixed AWE order")
+    group.add_argument("--target", type=float, default=0.01,
+                       help="error target for automatic order (default 0.01)")
+    report.add_argument("--threshold", type=float,
+                        help="logic threshold for an extra delay column (V)")
+    report.add_argument("--max-order", type=int, default=8)
+
+    poles = commands.add_parser("poles", help="exact (and AWE) poles")
+    poles.add_argument("deck")
+    poles.add_argument("--order", type=int,
+                       help="also print AWE poles of this order")
+    poles.add_argument("--node", help="output node for the AWE poles")
+    poles.add_argument("--source", help="driving source (default: first)")
+
+    transient = commands.add_parser("simulate", help="transient reference run")
+    transient.add_argument("deck")
+    transient.add_argument("--node", action="append", required=True)
+    transient.add_argument("--t-stop", type=float, required=True)
+    transient.add_argument("--csv", help="write samples to this CSV file")
+    transient.add_argument("--tolerance", type=float, default=1e-4)
+
+    sens = commands.add_parser(
+        "sensitivity",
+        help="adjoint delay gradient: which R/C to change to fix a path",
+    )
+    sens.add_argument("deck")
+    sens.add_argument("--node", required=True, help="output node")
+    sens.add_argument("--top", type=int, default=8,
+                      help="number of contributors to list (default 8)")
+    return parser
+
+
+def _load(deck_path: str):
+    deck = parse_netlist_file(deck_path)
+    if deck.title:
+        print(f"deck: {deck.title}")
+    print(f"  {len(deck.circuit)} elements, {deck.circuit.node_count} nodes, "
+          f"{deck.circuit.state_count} state variables")
+    return deck
+
+
+def cmd_report(args) -> int:
+    deck = _load(args.deck)
+    analyzer = AweAnalyzer(deck.circuit, deck.stimuli, max_order=args.max_order)
+    header = f"  {'node':<8} {'order':>5} {'estimate':>9} {'final':>9} {'50% delay':>11}"
+    if args.threshold is not None:
+        header += f" {'thr delay':>11}"
+    print("\nAWE timing report:")
+    print(header)
+    for node in args.node:
+        response = analyzer.response(
+            node, order=args.order, error_target=args.target
+        )
+        estimate = response.error_estimate
+        estimate_text = f"{estimate:.3%}" if estimate is not None and np.isfinite(estimate) else "n/a"
+        final = response.waveform.final_value()
+        initial = float(response.waveform.evaluate(0.0))
+        if abs(final - initial) < 1e-6 * max(abs(final), abs(initial), 1.0):
+            delay_text = "n/a"  # no net transition (e.g. a victim node)
+        else:
+            delay_text = fmt(response.delay_50(), "s")
+        line = (f"  {node:<8} {response.order:>5} {estimate_text:>9} "
+                f"{final:>8.4f}V {delay_text:>11}")
+        if args.threshold is not None:
+            line += f" {fmt(response.delay(args.threshold), 's'):>11}"
+        print(line)
+    return 0
+
+
+def cmd_poles(args) -> int:
+    deck = _load(args.deck)
+    system = MnaSystem(deck.circuit)
+    decomposition = circuit_poles(system)
+    print(f"\nexact poles ({decomposition.order}), dominant first:")
+    for pole in decomposition.sorted_by_dominance():
+        imag = f" {pole.imag:+.6e}j" if pole.imag else ""
+        print(f"  {pole.real:+.6e}{imag}")
+    if args.order is not None:
+        if not args.node:
+            print("error: --order needs --node", file=sys.stderr)
+            return 2
+        analyzer = AweAnalyzer(deck.circuit, deck.stimuli)
+        response = analyzer.response(args.node, order=args.order)
+        print(f"\nAWE poles, order {args.order} at node {args.node}:")
+        for pole in response.poles:
+            imag = f" {pole.imag:+.6e}j" if pole.imag else ""
+            print(f"  {pole.real:+.6e}{imag}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    deck = _load(args.deck)
+    result = simulate(deck.circuit, deck.stimuli, args.t_stop,
+                      refine_tolerance=args.tolerance)
+    waveforms = {node: result.voltage(node) for node in args.node}
+    print(f"\ntransient: {len(result.times)} points, "
+          f"{result.refinements} refinement(s)")
+    for node, waveform in waveforms.items():
+        print(f"  v({node}): {waveform.values[0]:.4f} V -> "
+              f"{waveform.values[-1]:.4f} V, extrema "
+              f"[{waveform.values.min():.4f}, {waveform.values.max():.4f}]")
+    if args.csv:
+        header = "time," + ",".join(f"v({n})" for n in args.node)
+        table = np.column_stack(
+            [result.times] + [waveforms[n].values for n in args.node]
+        )
+        np.savetxt(args.csv, table, delimiter=",", header=header, comments="")
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    from repro.core.sensitivity import delay_sensitivities
+
+    deck = _load(args.deck)
+    # The gradient is defined on the post-switch levels: each stimulus's
+    # final value (the parser stores the *pre*-switch level on the element).
+    levels = {name: stim.final_value for name, stim in deck.stimuli.items()}
+    sens = delay_sensitivities(deck.circuit, args.node, levels)
+    print(f"\nfirst-moment (Elmore) delay at {args.node}: "
+          f"{fmt(sens.elmore_delay, 's')}")
+    print(f"top {args.top} contributors (x·dT/dx — delay bought per unit "
+          "relative change):")
+    for name, value in sens.top_contributors(args.top):
+        element = deck.circuit[name]
+        nominal = getattr(element, "resistance", None)
+        unit = "ohm"
+        if nominal is None:
+            nominal, unit = element.capacitance, "F"
+        print(f"  {name:<10} {fmt(value, 's'):>10}   (nominal {fmt(nominal, unit)})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "report": cmd_report,
+        "poles": cmd_poles,
+        "simulate": cmd_simulate,
+        "sensitivity": cmd_sensitivity,
+    }
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

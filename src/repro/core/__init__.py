@@ -1,0 +1,78 @@
+"""The AWE core: moments, Padé pole matching, residues, error, driver."""
+
+from repro.core.driver import (
+    AweAnalyzer,
+    AweResponse,
+    ComponentApproximation,
+    Subproblem,
+    awe_response,
+)
+from repro.core.error import (
+    cauchy_bound_distance,
+    cauchy_relative_error,
+    exact_l2_distance,
+    relative_error,
+    transient_energy,
+)
+from repro.core.model import AweWaveform, PoleResidueModel
+from repro.core.moments import (
+    MomentSet,
+    ParticularSolution,
+    homogeneous_moments,
+    particular_solution,
+)
+from repro.core.pade import (
+    PadeResult,
+    characteristic_polynomial,
+    choose_scale,
+    hankel_sequence,
+    match_poles,
+    poles_from_characteristic,
+    scale_moments,
+)
+from repro.core.macromodel import FosterBranch, FosterNetwork, synthesize_rc_load
+from repro.core.residues import cluster_poles, solve_residues
+from repro.core.sensitivity import DelaySensitivities, delay_sensitivities
+from repro.core.transfer import (
+    TransferModel,
+    exact_frequency_response,
+    reduce_transfer,
+    transfer_moments,
+)
+
+__all__ = [
+    "AweAnalyzer",
+    "AweResponse",
+    "AweWaveform",
+    "ComponentApproximation",
+    "MomentSet",
+    "PadeResult",
+    "ParticularSolution",
+    "PoleResidueModel",
+    "Subproblem",
+    "awe_response",
+    "cauchy_bound_distance",
+    "cauchy_relative_error",
+    "characteristic_polynomial",
+    "choose_scale",
+    "cluster_poles",
+    "exact_l2_distance",
+    "hankel_sequence",
+    "homogeneous_moments",
+    "match_poles",
+    "particular_solution",
+    "poles_from_characteristic",
+    "relative_error",
+    "scale_moments",
+    "solve_residues",
+    "transient_energy",
+    "TransferModel",
+    "DelaySensitivities",
+    "FosterBranch",
+    "FosterNetwork",
+    "delay_sensitivities",
+    "synthesize_rc_load",
+    "exact_frequency_response",
+    "reduce_transfer",
+    "transfer_moments",
+]

@@ -1,0 +1,143 @@
+r"""Moment computation — the workhorse of AWE (paper Secs. 3.1–3.2).
+
+For the descriptor system ``G x + C ẋ = B u`` the homogeneous response
+from an initial homogeneous state ``y₀`` is, in the Laplace domain,
+
+.. math::
+
+    Y(s) = (G + sC)^{-1} C\,y_0 = \\sum_{k \\ge 0} m_k s^k,
+    \\qquad m_0 = G^{-1} C y_0, \\quad m_{k+1} = -G^{-1} C m_k,
+
+which is exactly the paper's recursion (its eqs. 33–34) expressed on the
+MNA matrices: every extra moment costs one forward/back substitution with
+the LU factors of ``G`` — the "succession of dc solutions" of Sec. IV,
+where the capacitors act as current sources valued by the previous moment.
+
+This module also computes the *particular* (step + ramp following)
+solution ``x_p(t) = c_0 + c_1 t`` for an excitation ``u(t) = u_0 + u_1 t``
+(paper eq. 6) and the homogeneous initial state it leaves behind
+(paper eq. 8).
+
+Floating capacitive nodes are handled by the charge-augmented solves of
+:class:`~repro.analysis.mna.MnaSystem`: the moment recursion supplies zero
+for each group's total-charge row (the homogeneous response carries no
+trapped charge once the particular solution absorbs it), and the
+particular solution pins the trapped charge explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.mna import MnaSystem
+from repro.errors import AnalysisError
+
+#: Relative tolerance for "a current source feeds a floating group" checks.
+_CHARGE_TOL = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class MomentSet:
+    """The initial state and moment vectors of one homogeneous problem.
+
+    ``initial`` is the paper's ``m₋₁`` vector (the homogeneous response at
+    t = 0⁺); ``vectors[k]`` is ``m_k``.  :meth:`sequence_for` extracts the
+    scalar moment sequence ``[m₋₁, m₀, …]`` of a single MNA unknown, which
+    is what the Padé stage consumes.
+    """
+
+    initial: np.ndarray
+    vectors: tuple[np.ndarray, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of non-negative moments available (excludes ``m₋₁``)."""
+        return len(self.vectors)
+
+    def sequence_for(self, row: int) -> np.ndarray:
+        """``[m₋₁, m₀, m₁, …]`` for one unknown, as a plain float array."""
+        return np.array([self.initial[row], *[m[row] for m in self.vectors]])
+
+    def extended(self, system: MnaSystem, extra: int) -> "MomentSet":
+        """A new set with ``extra`` further moments appended (incremental
+        order escalation reuses everything already computed)."""
+        vectors = list(self.vectors)
+        m = vectors[-1] if vectors else None
+        for _ in range(extra):
+            if m is None:
+                m = system.solve_augmented(system.C @ self.initial)
+            else:
+                m = system.solve_augmented(-(system.C @ m))
+            vectors.append(m)
+        return MomentSet(self.initial, tuple(vectors))
+
+
+def homogeneous_moments(system: MnaSystem, y0: np.ndarray, count: int) -> MomentSet:
+    """The first ``count`` moments of the homogeneous response from ``y0``.
+
+    ``y0`` must carry no trapped charge in any floating group (the caller
+    subtracts a particular solution that absorbs it); this is asserted to
+    one part in 10⁹ of the state scale.
+    """
+    y0 = np.asarray(y0, dtype=float)
+    if system.floating_groups:
+        charges = system.group_charge(y0)
+        scale = float(np.abs(system.C @ y0).max()) + 1e-300
+        if np.any(np.abs(charges) > _CHARGE_TOL * scale):
+            raise AnalysisError(
+                "homogeneous initial state carries trapped charge; the "
+                "particular solution must absorb floating-group charge"
+            )
+    return MomentSet(y0, ()).extended(system, count)
+
+
+@dataclasses.dataclass(frozen=True)
+class ParticularSolution:
+    """``x_p(t) = c0 + c1·t`` for a step+ramp excitation (paper eq. 6)."""
+
+    c0: np.ndarray
+    c1: np.ndarray
+
+    def at(self, t: float) -> np.ndarray:
+        return self.c0 + self.c1 * t
+
+    def row(self, row: int) -> tuple[float, float]:
+        """The (offset, slope) pair of one unknown."""
+        return float(self.c0[row]), float(self.c1[row])
+
+
+def particular_solution(
+    system: MnaSystem,
+    u0: np.ndarray,
+    u1: np.ndarray,
+    group_charges: np.ndarray | None = None,
+) -> ParticularSolution:
+    """Particular solution for ``u(t) = u0 + u1·t`` applied for t ≥ 0.
+
+    ``group_charges`` fixes each floating group's trapped charge (so that
+    the homogeneous remainder decays); it defaults to zero, the correct
+    value for the zero-initial-state event subproblems.
+
+    Raises :class:`AnalysisError` when a ramp source feeds net current into
+    a floating group — the trapped charge would grow quadratically and no
+    linear particular solution exists.
+    """
+    b0 = system.B @ np.asarray(u0, dtype=float)
+    b1 = system.B @ np.asarray(u1, dtype=float)
+
+    charge_c1 = None
+    if system.floating_groups:
+        ramp_injection = system.group_injection(np.asarray(u1, dtype=float))
+        scale = float(np.abs(b1).max()) + 1e-300
+        if np.any(np.abs(ramp_injection) > _CHARGE_TOL * scale):
+            raise AnalysisError(
+                "a ramp source injects current into a floating node group; "
+                "its charge grows without bound"
+            )
+        charge_c1 = system.group_injection(np.asarray(u0, dtype=float))
+
+    c1 = system.solve_augmented(b1, charge_c1)
+    c0 = system.solve_augmented(b0 - system.C @ c1, group_charges)
+    return ParticularSolution(c0, c1)

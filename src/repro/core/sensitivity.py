@@ -1,0 +1,166 @@
+"""Adjoint sensitivities of the first moment (Elmore delay) to element values.
+
+Where AWE computes delays from moments, a designer asks the next question:
+*which resistor or capacitor do I shrink to fix this path?*  For a net
+switching from rest (zero pre-state, step input ``u``) the first-moment
+delay at output ``o`` is
+
+.. math::
+
+    T_D = -m_0 / v_\\infty, \\qquad
+    m_0 = -e_o^T G^{-1} C\\, G^{-1} B u
+
+and its gradient with respect to *every* element value follows from two
+adjoint solves, independent of the number of elements:
+
+* conductance stamp ``dG = w wᵀ dg`` (``w`` the incidence vector):
+  ``dm₀ = (aᵀw)(wᵀ v₁)·dg + (cᵀw)(wᵀ x_∞)·dg``
+* capacitance stamp ``dC = w wᵀ dC``:
+  ``dm₀ = −(aᵀw)(wᵀ x_∞)·dC``
+
+with ``x_∞ = G⁻¹Bu`` (the steady state), ``v₁ = G⁻¹C x_∞``
+(``m₀ = −e_oᵀv₁``), ``a = G⁻ᵀe_o``, and ``c = G⁻ᵀCᵀa``.  Four solves
+total, all with the already-factored ``G``.
+
+Scope: linear R/C/V/I circuits with equilibrium (all-zero) pre-state —
+the standard switching-net situation.  The tree-walk closed forms in
+:mod:`repro.rctree.sensitivity` provide an independent check on RC trees;
+finite differences check the general case in the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.mna import MnaSystem
+from repro.circuit.elements import GROUND, Capacitor, CurrentSource, Resistor, VoltageSource, canonical_node
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class DelaySensitivities:
+    """Elmore-delay gradient of one output node.
+
+    ``d_resistance[name]`` = ∂T_D/∂R (s/Ω); ``d_capacitance[name]`` =
+    ∂T_D/∂C (s/F).  ``element_values`` holds the nominal R/C values so the
+    gradient can be expressed per relative change; ``elmore_delay`` is the
+    nominal T_D the gradient belongs to.
+    """
+
+    node: str
+    elmore_delay: float
+    d_resistance: dict[str, float]
+    d_capacitance: dict[str, float]
+    element_values: dict[str, float]
+
+    def scaled_gradient(self) -> dict[str, float]:
+        """``x·∂T/∂x`` per element — the delay change per unit *relative*
+        change in the element value."""
+        gradient = {**self.d_resistance, **self.d_capacitance}
+        return {
+            name: self.element_values[name] * value
+            for name, value in gradient.items()
+        }
+
+    def top_contributors(self, count: int = 5) -> list[tuple[str, float]]:
+        """Elements ranked by |x·∂T/∂x| — where a relative change buys the
+        most delay."""
+        entries = sorted(self.scaled_gradient().items(), key=lambda p: -abs(p[1]))
+        return entries[:count]
+
+
+def _incidence(system: MnaSystem, element) -> np.ndarray:
+    w = np.zeros(system.dimension)
+    if element.positive != GROUND:
+        w[system.index.node(element.positive)] = 1.0
+    if element.negative != GROUND:
+        w[system.index.node(element.negative)] = -1.0
+    return w
+
+
+def delay_sensitivities(
+    circuit: Circuit,
+    node: str | int,
+    source_values: dict[str, float] | None = None,
+) -> DelaySensitivities:
+    """Gradient of the first-moment (Elmore) delay at ``node``.
+
+    ``source_values`` are the post-step source levels (defaults to each
+    voltage source's ``dc`` value); the pre-state is the all-zero
+    equilibrium.
+    """
+    for element in circuit:
+        if not isinstance(element, (Resistor, Capacitor, VoltageSource, CurrentSource)):
+            raise AnalysisError(
+                "delay sensitivities support R/C/V/I circuits; got "
+                f"{type(element).__name__} {element.name!r}"
+            )
+    name = canonical_node(node)
+    if name == GROUND:
+        raise AnalysisError("ground has no delay")
+
+    system = MnaSystem(circuit)
+    if system.floating_groups:
+        raise AnalysisError(
+            "delay sensitivities are not defined for floating capacitive "
+            "groups (their Elmore delay is not a simple first moment)"
+        )
+    if source_values is None:
+        source_values = {
+            source.name: source.dc
+            for source in circuit
+            if isinstance(source, (VoltageSource, CurrentSource))
+        }
+    u = system.source_vector(source_values)
+    row = system.index.node(name)
+
+    # Forward solves.
+    x_inf = system.solve_augmented(system.B @ u)
+    v1 = system.solve_augmented(system.C @ x_inf)  # m0 = -e_o^T v1
+    swing = float(x_inf[row])
+    if swing == 0.0:
+        raise AnalysisError(f"node {name!r} sees no steady-state swing")
+    m0 = -float(v1[row])
+    elmore = -m0 / swing
+
+    # Adjoint solves (G is symmetric for R/C/V/I MNA up to the branch rows,
+    # but we solve with the transpose explicitly to stay general).
+    import scipy.linalg
+
+    lu_t = scipy.linalg.lu_factor(system.G_aug.T)
+    e_o = np.zeros(system.dimension)
+    e_o[row] = 1.0
+    a = scipy.linalg.lu_solve(lu_t, e_o)
+    c = scipy.linalg.lu_solve(lu_t, system.C.T @ a)
+
+    # T_D = -m0/swing where swing = e_o^T x_inf also depends on G:
+    # d(swing) = -(a^T dG x_inf).  Assemble the full quotient rule.
+    d_resistance: dict[str, float] = {}
+    d_capacitance: dict[str, float] = {}
+    for element in circuit:
+        if isinstance(element, Resistor):
+            w = _incidence(system, element)
+            # dm0/dg and d(swing)/dg for conductance g.
+            dm0_dg = float((a @ w) * (w @ v1) + (c @ w) * (w @ x_inf))
+            dswing_dg = float(-(a @ w) * (w @ x_inf))
+            g = element.conductance
+            dm0_dR = dm0_dg * (-(g * g))
+            dswing_dR = dswing_dg * (-(g * g))
+            dT_dR = -(dm0_dR * swing - m0 * dswing_dR) / (swing * swing)
+            d_resistance[element.name] = dT_dR
+        elif isinstance(element, Capacitor):
+            w = _incidence(system, element)
+            dm0_dC = float(-(a @ w) * (w @ x_inf))
+            d_capacitance[element.name] = -dm0_dC / swing
+    values = {r.name: r.resistance for r in circuit.resistors}
+    values.update({c.name: c.capacitance for c in circuit.capacitors})
+    return DelaySensitivities(
+        node=name,
+        elmore_delay=elmore,
+        d_resistance=d_resistance,
+        d_capacitance=d_capacitance,
+        element_values=values,
+    )

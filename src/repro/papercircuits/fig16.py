@@ -1,0 +1,87 @@
+"""The paper's Fig. 16: an RC tree with widely varying time constants.
+
+This is the MOS-interconnect workhorse of Section V: a 10-capacitor tree
+whose exact poles span four decades (Table I), the output taken at C₇, and
+C₆ the capacitor whose 5 V initial condition produces the nonmonotone
+charge-sharing response of Figs. 20–21.
+
+Values.  The original figure's values are not in the text, but Table I
+*is*: the exact dominant pole is −1.7818×10⁹ s⁻¹ with the second pole at
+−1.3830×10¹⁰ (ratio 7.76).  This reproduction's resistances were chosen to
+give a plausible on-chip topology (a 7-segment trunk with three side
+branches) and the capacitances were then globally scaled so that the exact
+dominant pole equals the table's −1.7818×10⁹ with the second pole at
+−1.3855×10¹⁰ (0.2 % from the table) — see DESIGN.md.  The remaining poles
+reach −8.4×10¹³, a wider spread than the original's −1.64×10¹³, preserving
+the "stiff circuit" property the section is about.
+
+Topology::
+
+    Vin ─R1─ 1 ─R2─ 2 ─R3─ 3 ─R4─ 4 ─R5─ 5 ─R6─ 6 ─R7─ 7 (output, C7)
+                         │              │
+                        R8              R9─ 9 ─R10─ 10
+                         8              (C9)      (C10)
+                        (C8)
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+
+#: Output node (the voltage across C7, as in Figs. 17/18/20/21).
+FIG16_OUTPUT = "7"
+
+#: The capacitor given a 5 V initial condition in the Sec. 5.2 experiment.
+FIG16_SHARING_CAP = "C6"
+
+FIG16_VDD = 5.0
+
+#: Global capacitance scale that pins the dominant pole to −1.7818e9 s⁻¹.
+_CAP_SCALE = 0.47774395768531197
+
+_RESISTORS = {
+    "R1": ("in", "1", 100.0),
+    "R2": ("1", "2", 80.0),
+    "R3": ("2", "3", 120.0),
+    "R4": ("3", "4", 60.0),
+    "R5": ("4", "5", 150.0),
+    "R6": ("5", "6", 90.0),
+    "R7": ("6", "7", 200.0),
+    "R8": ("3", "8", 300.0),
+    "R9": ("5", "9", 70.0),
+    "R10": ("9", "10", 40.0),
+}
+
+_CAPACITORS_RAW = {
+    "C1": ("1", 60e-15),
+    "C2": ("2", 40e-15),
+    "C3": ("3", 80e-15),
+    "C4": ("4", 30e-15),
+    "C5": ("5", 300e-15),
+    "C6": ("6", 400e-15),
+    "C7": ("7", 1000e-15),
+    "C8": ("8", 300e-15),
+    "C9": ("9", 2e-15),
+    "C10": ("10", 1e-15),
+}
+
+
+def fig16_stiff_rc_tree(sharing_voltage: float | None = None) -> Circuit:
+    """Build the Fig. 16 tree.
+
+    ``sharing_voltage`` sets the initial condition of C₆ (the paper's
+    Sec. 5.2 uses 5.0 V; ``None`` leaves equilibrium initial conditions).
+    """
+    ckt = Circuit("paper Fig. 16 stiff RC tree")
+    ckt.add_voltage_source("Vin", "in", "0")
+    for name, (a, b, value) in _RESISTORS.items():
+        ckt.add_resistor(name, a, b, value)
+    for name, (node, value) in _CAPACITORS_RAW.items():
+        ic = sharing_voltage if name == FIG16_SHARING_CAP else None
+        ckt.add_capacitor(name, node, "0", value * _CAP_SCALE, initial_voltage=ic)
+    if sharing_voltage is not None:
+        # Nonequilibrium on one capacitor only: the rest start at the
+        # pre-switching equilibrium (0 V for a grounded-input tree), which
+        # resolve_initial_storage_state() computes; nothing more to do.
+        pass
+    return ckt

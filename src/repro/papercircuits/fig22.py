@@ -1,0 +1,54 @@
+"""The paper's Fig. 22: the Fig. 16 tree plus a floating coupling capacitor.
+
+A floating capacitor C₁₁ couples the output node (7) to a side node (12)
+carrying its own grounded capacitor C₁₂.  Charge dumped through C₁₁ onto
+C₁₂ (the Fig. 24 waveform) slows the output — the paper reports the
+4.0 V-threshold delay moving from 1.6 ns to 1.7 ns — and makes the
+second-order approximation markedly worse (error 15 % vs 0.15 %,
+recovering to 0.14 % at third order).
+
+The original component values are unrecoverable from the paper's image.
+Two variants are provided:
+
+* the default (``leak_resistance = 1 kΩ``): the victim node also carries a
+  resistor to ground (a held gate input).  The side path then contributes
+  a comparably slow third pole to the output response, which is what
+  degrades the second-order fit the way the paper reports (our errors:
+  ~6 % at second order recovering to ~0.03 % at third, vs the paper's
+  15 % → 0.14 %), and the 4 V threshold delay visibly grows.
+* ``leak_resistance=None``: node 12 is reachable only through capacitors —
+  the strict charge-conservation case of Sec. III.  The trapped-charge
+  machinery determines its final value; used by the Fig. 24 exact-charge
+  benchmark and the floating-node tests.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.papercircuits.fig16 import _CAP_SCALE, fig16_stiff_rc_tree
+
+#: The side node that receives dumped charge (Fig. 24 plots its voltage).
+FIG22_COUPLING_NODE = "12"
+
+#: Coupling and victim capacitances (before the global Fig. 16 scale).
+FIG22_C11 = 500e-15
+FIG22_C12 = 4000e-15
+
+#: Victim-node load of the default variant.
+FIG22_R12 = 1000.0
+
+
+def fig22_floating_cap(
+    c_coupling: float = FIG22_C11,
+    c_victim: float = FIG22_C12,
+    leak_resistance: float | None = FIG22_R12,
+) -> Circuit:
+    """Build Fig. 22: Fig. 16 plus C₁₁ (7→12, floating) and C₁₂ (12→0),
+    optionally with the victim-node resistor (see module docstring)."""
+    ckt = fig16_stiff_rc_tree()
+    ckt.title = "paper Fig. 22 RC tree with floating capacitor"
+    ckt.add_capacitor("C11", "7", FIG22_COUPLING_NODE, c_coupling * _CAP_SCALE)
+    ckt.add_capacitor("C12", FIG22_COUPLING_NODE, "0", c_victim * _CAP_SCALE)
+    if leak_resistance is not None:
+        ckt.add_resistor("R12", FIG22_COUPLING_NODE, "0", leak_resistance)
+    return ckt

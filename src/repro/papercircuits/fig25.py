@@ -1,0 +1,55 @@
+"""The paper's Fig. 25: an underdamped RLC circuit with complex poles.
+
+Section 5.4's example is "characterized by three pairs of complex poles"
+(Table II): (−1.3532e9 ± 2.5967e9j), (−8.194e8 ± 6.810e9j),
+(−3.278e8 ± 1.6225e10j).  Its 5 V step response overshoots (Fig. 26): a
+first-order AWE fit is useless (error 74 %), second order detects the
+overshoot but misses detail (22 %), and fourth order matches the waveform
+(< 1 %), with the approximating pairs creeping onto the actual ones
+(Table II).
+
+This reproduction uses a tapered, lightly lossy 3-section LC ladder
+(8/12/15 nH, 1/2/5 pF, 6 Ω per section) behind a 30 Ω source.  Its exact
+poles are three underdamped pairs — (−0.833 ± 2.10j), (−0.702 ± 7.72j),
+(−1.16 ± 15.0j) ×10⁹ — reproducing Table II's structure: the second-order
+fit lands on the dominant pair, the fourth-order fit locks the dominant
+pair to four digits and approximates the second, and the step-response
+error falls ~60 % → ~13 % → ~2 % across orders 1/2/4 with a 35 % overshoot
+(paper: 74 % → 22 % → < 1 %).  The element values were chosen for this
+error trajectory; see DESIGN.md on value substitution.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+
+FIG25_OUTPUT = "3"
+FIG25_RS = 30.0
+FIG25_R_SECTION = 6.0
+FIG25_L = (8e-9, 12e-9, 15e-9)
+FIG25_C = (1e-12, 2e-12, 5e-12)
+FIG25_VDD = 5.0
+
+
+def fig25_rlc_ladder(
+    r_source: float = FIG25_RS,
+    r_section: float = FIG25_R_SECTION,
+    inductances: tuple[float, ...] = FIG25_L,
+    capacitances: tuple[float, ...] = FIG25_C,
+) -> Circuit:
+    """Build the Fig. 25 underdamped RLC ladder."""
+    if len(inductances) != len(capacitances):
+        raise ValueError("need one capacitance per inductance")
+    ckt = Circuit("paper Fig. 25 underdamped RLC circuit")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("Rs", "in", "a0", r_source)
+    previous = "a0"
+    for i, (inductance, capacitance) in enumerate(
+        zip(inductances, capacitances), start=1
+    ):
+        node = str(i)
+        ckt.add_resistor(f"Rl{i}", previous, f"m{i}", r_section)
+        ckt.add_inductor(f"L{i}", f"m{i}", node, inductance)
+        ckt.add_capacitor(f"C{i}", node, "0", capacitance)
+        previous = node
+    return ckt

@@ -1,0 +1,60 @@
+"""The paper's Fig. 4 RC tree (the running example of Secs. II and IV).
+
+Topology (from the paper's eq. 50/56 Elmore expressions)::
+
+    Vin ──R1── 1 ──R2── 2
+               │
+               └─R3── 3 ──R4── 4
+    C1..C4 from nodes 1..4 to ground.
+
+The original element values are not given in the text.  This reproduction
+uses **1 kΩ / 0.1 µF everywhere**, chosen so the Elmore delay at node 4 is
+
+    T_D⁴ = (R1+R3+R4)C4 + (R1+R3)C3 + R1·C2 + R1·C1 = 0.7 ms,
+
+consistent with the Sec. 4.3 ramp example (a 5 V input with 1 ms rise time
+whose slope-following particular solution is v_p(t) = 5×10³·t − 3.5, i.e.
+an Elmore delay of 0.7 ms).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+
+#: Canonical element values (see module docstring).
+FIG4_R = 1.0e3
+FIG4_C = 0.1e-6
+
+#: The supply swing used in every Fig. 4 experiment.
+FIG4_VDD = 5.0
+
+
+def fig4_rc_tree(
+    resistance: float = FIG4_R,
+    capacitance: float = FIG4_C,
+) -> Circuit:
+    """Build the Fig. 4 RC tree (source value set at analysis time)."""
+    ckt = Circuit("paper Fig. 4 RC tree")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", resistance)
+    ckt.add_resistor("R2", "1", "2", resistance)
+    ckt.add_resistor("R3", "1", "3", resistance)
+    ckt.add_resistor("R4", "3", "4", resistance)
+    for node in ("1", "2", "3", "4"):
+        ckt.add_capacitor(f"C{node}", node, "0", capacitance)
+    return ckt
+
+
+def fig4_elmore_delays(
+    resistance: float = FIG4_R, capacitance: float = FIG4_C
+) -> dict[str, float]:
+    """The hand-derived Elmore delays of eq. 56, for cross-checking the
+    tree-walk and tree-link implementations."""
+    R, C = resistance, capacitance
+    t1 = R * 4 * C                      # R1(C1+C2+C3+C4)
+    return {
+        "1": t1,
+        "2": t1 + R * C,                # + R2·C2
+        "3": t1 + R * 2 * C,            # + R3(C3+C4)
+        "4": t1 + R * 2 * C + R * C,    # + R4·C4
+    }

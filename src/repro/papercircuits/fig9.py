@@ -1,0 +1,40 @@
+"""The paper's Fig. 9: the Fig. 4 tree with a grounded resistor.
+
+The grounded resistor makes the steady state *inexplicit* (paper
+Sec. 4.2): the tree/link partition must take one resistor as a link
+(Fig. 10) and the final value is no longer the full supply swing, so delay
+estimates must be scaled per eq. 3.
+
+The text gives R₅ = 4 Ω; no other values are stated.  Matching that ohm
+scale, this reproduction uses a **1 Ω / 1 F** tree (time constants of
+seconds — the circuit is a normalised example, as in the paper), with R₅
+from node 4 to ground.  The steady state at node 4 is then
+5 V · 4/(3+4) ≈ 2.857 V.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+
+FIG9_R = 1.0
+FIG9_C = 1.0
+FIG9_R5 = 4.0
+FIG9_VDD = 5.0
+
+
+def fig9_grounded_resistor(
+    resistance: float = FIG9_R,
+    capacitance: float = FIG9_C,
+    r_ground: float = FIG9_R5,
+) -> Circuit:
+    """Build the Fig. 9 circuit: Fig. 4 topology plus R₅ to ground."""
+    ckt = Circuit("paper Fig. 9 RC tree with grounded resistor")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", resistance)
+    ckt.add_resistor("R2", "1", "2", resistance)
+    ckt.add_resistor("R3", "1", "3", resistance)
+    ckt.add_resistor("R4", "3", "4", resistance)
+    ckt.add_resistor("R5", "4", "0", r_ground)
+    for node in ("1", "2", "3", "4"):
+        ckt.add_capacitor(f"C{node}", node, "0", capacitance)
+    return ckt

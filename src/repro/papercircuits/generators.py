@@ -1,0 +1,259 @@
+"""Parameterised circuit generators for tests, benchmarks, and scaling runs.
+
+Everything here produces the interconnect families the paper's
+introduction motivates: on-chip RC trees (random, for property-based
+testing), RC ladders (distributed wire segments), RC meshes (resistor
+loops — the Lin–Mead extension of Sec. 2.3), lossy LC transmission-line
+ladders (the PCB-level models of Sec. I), and capacitively coupled
+parallel lines (the coupling-capacitor motivation of Sec. 5.3).
+
+Generators take explicit numeric parameters plus, where randomised, a
+``seed`` so every test is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+
+def rc_ladder(
+    sections: int,
+    resistance: float = 100.0,
+    capacitance: float = 50e-15,
+    name: str = "rc ladder",
+) -> Circuit:
+    """A uniform RC ladder: the classic distributed-wire model.
+
+    ``Vin — R — 1 — R — 2 … — R — <sections>``, a capacitor at every node.
+    """
+    if sections < 1:
+        raise CircuitError("an RC ladder needs at least one section")
+    ckt = Circuit(name)
+    ckt.add_voltage_source("Vin", "in", "0")
+    previous = "in"
+    for i in range(1, sections + 1):
+        node = str(i)
+        ckt.add_resistor(f"R{i}", previous, node, resistance)
+        ckt.add_capacitor(f"C{i}", node, "0", capacitance)
+        previous = node
+    return ckt
+
+
+def random_rc_tree(
+    nodes: int,
+    seed: int,
+    r_range: tuple[float, float] = (50.0, 500.0),
+    c_range: tuple[float, float] = (10e-15, 500e-15),
+) -> Circuit:
+    """A random RC tree with ``nodes`` internal nodes.
+
+    Each new node attaches by a resistor to a uniformly chosen existing
+    node (a random recursive tree), with a grounded capacitor everywhere —
+    exactly the structure the RC-tree methods of Sec. II require, so the
+    property-based tests can compare the Elmore tree walk, tree/link
+    analysis, and first-order AWE on arbitrary instances.
+    """
+    if nodes < 1:
+        raise CircuitError("a tree needs at least one node")
+    rng = np.random.default_rng(seed)
+    ckt = Circuit(f"random RC tree (n={nodes}, seed={seed})")
+    ckt.add_voltage_source("Vin", "in", "0")
+    parents = ["in"]
+    for i in range(1, nodes + 1):
+        node = str(i)
+        parent = parents[rng.integers(0, len(parents))]
+        resistance = float(rng.uniform(*r_range))
+        capacitance = float(rng.uniform(*c_range))
+        ckt.add_resistor(f"R{i}", parent, node, resistance)
+        ckt.add_capacitor(f"C{i}", node, "0", capacitance)
+        parents.append(node)
+    return ckt
+
+
+def rc_mesh(
+    rows: int,
+    cols: int,
+    resistance: float = 100.0,
+    capacitance: float = 50e-15,
+) -> Circuit:
+    """A rows×cols grid of resistors with grounded caps at every junction.
+
+    Resistor *loops* take this outside the RC-tree class (paper Sec. 2.2 /
+    Lin–Mead); AWE handles it where the tree walk cannot.  The source
+    drives the (0, 0) corner.
+    """
+    if rows < 1 or cols < 1:
+        raise CircuitError("mesh needs at least one row and one column")
+    ckt = Circuit(f"{rows}x{cols} RC mesh")
+    ckt.add_voltage_source("Vin", "in", "0")
+
+    def node(r: int, c: int) -> str:
+        return f"n{r}_{c}"
+
+    ckt.add_resistor("Rdrv", "in", node(0, 0), resistance)
+    for r in range(rows):
+        for c in range(cols):
+            ckt.add_capacitor(f"C{r}_{c}", node(r, c), "0", capacitance)
+            if c + 1 < cols:
+                ckt.add_resistor(f"Rh{r}_{c}", node(r, c), node(r, c + 1), resistance)
+            if r + 1 < rows:
+                ckt.add_resistor(f"Rv{r}_{c}", node(r, c), node(r + 1, c), resistance)
+    return ckt
+
+
+def rlc_transmission_ladder(
+    sections: int,
+    r_per_section: float = 1.0,
+    l_per_section: float = 2e-9,
+    c_per_section: float = 1e-12,
+    r_source: float = 25.0,
+    name: str = "rlc transmission ladder",
+) -> Circuit:
+    """A lossy LC ladder — the lumped PCB-trace model of the paper's intro.
+
+    Each section is series R+L followed by a shunt C; ``r_source`` is the
+    driver impedance that sets the damping.
+    """
+    if sections < 1:
+        raise CircuitError("a transmission ladder needs at least one section")
+    ckt = Circuit(name)
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("Rs", "in", "a0", r_source)
+    previous = "a0"
+    for i in range(1, sections + 1):
+        mid, node = f"m{i}", str(i)
+        ckt.add_resistor(f"R{i}", previous, mid, r_per_section)
+        ckt.add_inductor(f"L{i}", mid, node, l_per_section)
+        ckt.add_capacitor(f"C{i}", node, "0", c_per_section)
+        previous = node
+    return ckt
+
+
+def clock_h_tree(
+    levels: int,
+    r_segment: float = 150.0,
+    c_segment: float = 60e-15,
+    leaf_load: float = 30e-15,
+    taper: float = 0.7,
+    imbalance_seed: int | None = None,
+    imbalance: float = 0.0,
+) -> Circuit:
+    """A binary clock-distribution tree (H-tree abstraction).
+
+    ``levels`` branchings give ``2**levels`` leaves named ``leaf0…``.
+    Each level's segment resistance grows by ``1/taper`` (wires narrow
+    toward the leaves) while segment capacitance shrinks by ``taper``.
+    A perfectly balanced tree has identical leaf delays; ``imbalance``
+    (with a seed) perturbs segment values uniformly by ±that fraction to
+    create the skew a clock designer must bound.
+    """
+    if levels < 1:
+        raise CircuitError("a clock tree needs at least one branching level")
+    rng = np.random.default_rng(imbalance_seed) if imbalance_seed is not None else None
+
+    def jitter() -> float:
+        if rng is None or imbalance == 0.0:
+            return 1.0
+        return float(1.0 + rng.uniform(-imbalance, imbalance))
+
+    ckt = Circuit(f"clock H-tree ({levels} levels, {2**levels} leaves)")
+    ckt.add_voltage_source("Vclk", "in", "0")
+    frontier = ["in"]
+    internal_counter = 0
+    leaf_counter = 0
+    for level in range(levels):
+        resistance = r_segment / (taper ** level)
+        capacitance = c_segment * (taper ** level)
+        is_leaf_level = level == levels - 1
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(2):
+                if is_leaf_level:
+                    node = f"leaf{leaf_counter}"
+                    leaf_counter += 1
+                else:
+                    node = f"n{internal_counter}"
+                    internal_counter += 1
+                ckt.add_resistor(f"R{node}", parent, node, resistance * jitter())
+                ckt.add_capacitor(f"C{node}", node, "0", capacitance * jitter())
+                next_frontier.append(node)
+        frontier = next_frontier
+        if is_leaf_level:
+            for leaf in frontier:
+                ckt.add_capacitor(f"Cload_{leaf}", leaf, "0", leaf_load)
+    return ckt
+
+
+def magnetically_coupled_lines(
+    sections: int,
+    r_per_section: float = 1.0,
+    l_per_section: float = 2e-9,
+    c_per_section: float = 1e-12,
+    r_source: float = 25.0,
+    r_victim_term: float = 50.0,
+    inductive_k: float = 0.35,
+    c_coupling: float = 100e-15,
+) -> Circuit:
+    """Two lossy LC lines with per-section mutual inductance + coupling caps.
+
+    The PCB crosstalk scenario the paper's introduction motivates ("to
+    enable timing verification at the printed circuit board level also
+    requires general RLC interconnect models"): an aggressor driven by
+    ``Vagg``, a victim line terminated at both ends, each section's
+    inductors magnetically coupled with coefficient ``inductive_k`` and
+    bridged by a coupling capacitor.  Aggressor nodes ``a1…aN``, victim
+    nodes ``v1…vN``.
+    """
+    if sections < 1:
+        raise CircuitError("coupled lines need at least one section")
+    ckt = Circuit(f"magnetically coupled lines ({sections} sections)")
+    ckt.add_voltage_source("Vagg", "ain", "0")
+    ckt.add_resistor("Rsa", "ain", "a0", r_source)
+    ckt.add_resistor("Rtv0", "v0", "0", r_victim_term)  # near-end termination
+    prev_a, prev_v = "a0", "v0"
+    for i in range(1, sections + 1):
+        a, v = f"a{i}", f"v{i}"
+        ckt.add_resistor(f"Rla{i}", prev_a, f"ma{i}", r_per_section)
+        ckt.add_inductor(f"La{i}", f"ma{i}", a, l_per_section)
+        ckt.add_capacitor(f"Ca{i}", a, "0", c_per_section)
+        ckt.add_resistor(f"Rlv{i}", prev_v, f"mv{i}", r_per_section)
+        ckt.add_inductor(f"Lv{i}", f"mv{i}", v, l_per_section)
+        ckt.add_capacitor(f"Cv{i}", v, "0", c_per_section)
+        ckt.add_mutual_inductance(f"K{i}", f"La{i}", f"Lv{i}", inductive_k)
+        ckt.add_capacitor(f"Cc{i}", a, v, c_coupling)
+        prev_a, prev_v = a, v
+    ckt.add_resistor("Rtv1", prev_v, "0", r_victim_term)  # far-end termination
+    return ckt
+
+
+def coupled_rc_lines(
+    sections: int,
+    resistance: float = 100.0,
+    capacitance: float = 50e-15,
+    coupling: float = 25e-15,
+) -> Circuit:
+    """Two parallel RC lines with distributed coupling capacitance.
+
+    The aggressor line is driven by ``Vagg``; the victim line is held by
+    ``Vvic`` at its own driver.  Crosstalk charge arrives through the
+    floating coupling caps — the Sec. 5.3 scenario at net scale.  Victim
+    nodes are named ``v1…vN``, aggressor nodes ``a1…aN``.
+    """
+    if sections < 1:
+        raise CircuitError("coupled lines need at least one section")
+    ckt = Circuit(f"coupled RC lines ({sections} sections)")
+    ckt.add_voltage_source("Vagg", "ain", "0")
+    ckt.add_voltage_source("Vvic", "vin", "0")
+    prev_a, prev_v = "ain", "vin"
+    for i in range(1, sections + 1):
+        a, v = f"a{i}", f"v{i}"
+        ckt.add_resistor(f"Ra{i}", prev_a, a, resistance)
+        ckt.add_resistor(f"Rv{i}", prev_v, v, resistance)
+        ckt.add_capacitor(f"Ca{i}", a, "0", capacitance)
+        ckt.add_capacitor(f"Cv{i}", v, "0", capacitance)
+        ckt.add_capacitor(f"Cc{i}", a, v, coupling)
+        prev_a, prev_v = a, v
+    return ckt

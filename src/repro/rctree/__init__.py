@@ -1,0 +1,38 @@
+"""Classical RC-tree delay methods (paper Sec. II) — the baselines AWE
+generalises: the Elmore tree walk, the Penfield–Rubinstein single-pole
+model with bounds, the two-pole (Chu–Horowitz style) model, and the
+tree/link analysis of Sec. IV."""
+
+from repro.rctree.elmore import elmore_delay, elmore_delays
+from repro.rctree.generalized_elmore import generalized_elmore_delay, settling_areas
+from repro.rctree.penfield_rubinstein import (
+    PenfieldRubinsteinModel,
+    crossing_time_upper_bound,
+    penfield_rubinstein_model,
+)
+from repro.rctree.sensitivity import delay_gradient_by_node, tree_delay_gradient
+from repro.rctree.two_pole import TwoPoleModel, two_pole_model
+from repro.rctree.treelink import (
+    TreeLinkAnalysis,
+    treelink_elmore_delays,
+    treelink_moments,
+    treelink_steady_state,
+)
+
+__all__ = [
+    "PenfieldRubinsteinModel",
+    "TreeLinkAnalysis",
+    "TwoPoleModel",
+    "crossing_time_upper_bound",
+    "delay_gradient_by_node",
+    "elmore_delay",
+    "elmore_delays",
+    "generalized_elmore_delay",
+    "settling_areas",
+    "tree_delay_gradient",
+    "penfield_rubinstein_model",
+    "treelink_elmore_delays",
+    "treelink_moments",
+    "treelink_steady_state",
+    "two_pole_model",
+]

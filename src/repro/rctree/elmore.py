@@ -1,0 +1,58 @@
+"""Elmore delay by tree walk — O(n), paper Sec. II / eq. 50.
+
+For an RC tree the Elmore delay (the first moment of the impulse
+response, eq. 1) at node *i* is
+
+.. math::
+
+    T_D^i = \\sum_{e \\in path(root, i)} R_e \\cdot C(S_e)
+
+where ``C(S_e)`` is the total capacitance in the subtree hanging below
+tree edge ``e``.  Two linear passes compute it for *every* node at once:
+a post-order pass accumulates subtree capacitances, then a pre-order pass
+pushes path sums down — the "tree walk" of Penfield–Rubinstein [7] that
+Sec. IV shows to be the first AWE moment in disguise.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import RcTree, analyze_rc_tree
+
+
+def elmore_delays(circuit_or_tree: Circuit | RcTree) -> dict[str, float]:
+    """Elmore delay at every node of an RC tree, by one O(n) walk.
+
+    Accepts either a circuit (validated as an RC tree first) or an
+    already-analysed :class:`~repro.circuit.topology.RcTree`.
+    """
+    tree = (
+        circuit_or_tree
+        if isinstance(circuit_or_tree, RcTree)
+        else analyze_rc_tree(circuit_or_tree)
+    )
+    order = tree.nodes  # breadth-first from the root
+
+    # Post-order: subtree capacitance below each node (node's own cap
+    # included).
+    subtree_cap = dict(tree.capacitance)
+    for node in reversed(order):
+        for child in tree.children.get(node, ()):
+            subtree_cap[node] += subtree_cap[child]
+
+    # Pre-order: delay(child) = delay(parent) + R_edge * C(subtree(child)).
+    delays = {tree.root: 0.0}
+    for node in order:
+        if node == tree.root:
+            continue
+        parent, resistor = tree.parent[node]
+        delays[node] = delays[parent] + resistor.resistance * subtree_cap[node]
+    return delays
+
+
+def elmore_delay(circuit: Circuit, node: str) -> float:
+    """Elmore delay at one node (still walks the whole tree — it is O(n))."""
+    delays = elmore_delays(circuit)
+    if node not in delays:
+        raise KeyError(f"node {node!r} is not part of the RC tree")
+    return delays[node]

@@ -1,0 +1,101 @@
+"""The Penfield–Rubinstein single-exponential model and delay bounds.
+
+Paper Sec. 2.1: the Elmore delay ``T_D`` is used as a dominant time
+constant, approximating the monotone step response by
+
+.. math::
+
+    v(t) \\approx v(\\infty)\\,(1 - e^{-t / T_D})        \\qquad (paper eq. 2)
+
+which Sec. IV shows to be exactly the first-order AWE model for an RC tree
+driven by a step.  This module provides that model as an explicit baseline
+plus two rigorous (if loose) step-response bounds:
+
+* an **upper bound on any threshold-crossing time**,
+  ``t_cross(x) ≤ T_D / (1 − x)`` for normalised threshold ``x``, which
+  follows from monotonicity: ``1 − v(t)/v∞`` is non-increasing and
+  integrates to ``T_D``, so ``t · (1 − v(t)/v∞) ≤ T_D``;
+* a **lower bound**, ``t_cross(x) ≥ T_D − (1 − x)·T_max`` where
+  ``T_max = Σ_k R_{kk} C_k`` (the Rubinstein–Penfield–Horowitz ``T_P``):
+  the slowest any node can settle is with every capacitor seeing its full
+  path resistance, giving ``∫_t^∞ (1 − v/v∞) ≤ (1 − v(t)/v∞)·T_max`` and
+  hence the stated bound at the crossing.
+
+These are simplified (but valid) forms of the bounds in Rubinstein,
+Penfield and Horowitz [14]; the reproduction uses them for the baseline
+comparison benchmarks, not for accuracy claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import analyze_rc_tree
+from repro.errors import AnalysisError
+from repro.rctree.elmore import elmore_delays
+from repro.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class PenfieldRubinsteinModel:
+    """The single-pole step-response estimate at one node."""
+
+    node: str
+    elmore_delay: float
+    v_final: float
+    t_max: float
+
+    def evaluate(self, t) -> np.ndarray:
+        """The eq. 2 waveform ``v∞ (1 − e^{−t/T_D})``."""
+        t = np.asarray(t, dtype=float)
+        return self.v_final * (1.0 - np.exp(-t / self.elmore_delay))
+
+    def to_waveform(self, times) -> Waveform:
+        times = np.asarray(times, dtype=float)
+        return Waveform(times, self.evaluate(times), f"v({self.node}) [PR model]")
+
+    def crossing_time(self, threshold: float) -> float:
+        """Crossing-time estimate from the single-exponential model."""
+        x = threshold / self.v_final
+        if not 0.0 < x < 1.0:
+            raise AnalysisError(f"threshold {threshold} outside the swing")
+        return -self.elmore_delay * np.log1p(-x)
+
+    def crossing_bounds(self, threshold: float) -> tuple[float, float]:
+        """(lower, upper) rigorous bounds on the crossing time."""
+        x = threshold / self.v_final
+        if not 0.0 < x < 1.0:
+            raise AnalysisError(f"threshold {threshold} outside the swing")
+        upper = self.elmore_delay / (1.0 - x)
+        lower = max(0.0, self.elmore_delay - (1.0 - x) * self.t_max)
+        return lower, upper
+
+
+def penfield_rubinstein_model(
+    circuit: Circuit, node: str, v_final: float
+) -> PenfieldRubinsteinModel:
+    """Build the single-pole model at ``node`` for a ``v_final`` step."""
+    tree = analyze_rc_tree(circuit)
+    delays = elmore_delays(tree)
+    if node not in delays:
+        raise AnalysisError(f"node {node!r} is not in the RC tree")
+    # T_max = Σ_k R(root→k) · C_k  — every cap through its full path.
+    t_max = 0.0
+    for k in tree.nodes:
+        if k == tree.root:
+            continue
+        path_resistance = sum(r.resistance for _, r in tree.path_to_root(k))
+        t_max += path_resistance * tree.capacitance[k]
+    return PenfieldRubinsteinModel(
+        node=node, elmore_delay=delays[node], v_final=v_final, t_max=t_max
+    )
+
+
+def crossing_time_upper_bound(elmore: float, normalized_threshold: float) -> float:
+    """``T_D / (1 − x)`` — the Markov-style worst-case crossing time."""
+    if not 0.0 < normalized_threshold < 1.0:
+        raise AnalysisError("normalised threshold must be in (0, 1)")
+    return elmore / (1.0 - normalized_threshold)

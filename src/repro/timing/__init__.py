@@ -1,0 +1,42 @@
+"""Timing-analysis application layer: gate stages, path delay, the analyzer.
+
+The paper's motivating use (Sec. II, Fig. 1): divide a digital design into
+stages — a gate output driving an interconnect net — model the gate as a
+switched resistance, the net as an RLC circuit, and evaluate each stage's
+delay with AWE, propagating the waveform's slope to the next stage."""
+
+from repro.timing.analyzer import PathTimingAnalyzer, StageTiming
+from repro.timing.corners import CornerReport, delay_corners, uniform_tolerances
+from repro.timing.delay import DelayReport, measure_delay, slew_time
+from repro.timing.pi_model import (
+    PiModel,
+    driving_point_moments,
+    effective_capacitance,
+    pi_model,
+)
+from repro.timing.montecarlo import MonteCarloReport, delay_distribution
+from repro.timing.skew import SkewReport, skew_report, tree_leaves
+from repro.timing.stage import Receiver, Stage, StageResult
+
+__all__ = [
+    "CornerReport",
+    "DelayReport",
+    "MonteCarloReport",
+    "delay_distribution",
+    "PathTimingAnalyzer",
+    "PiModel",
+    "Receiver",
+    "SkewReport",
+    "Stage",
+    "StageResult",
+    "StageTiming",
+    "skew_report",
+    "tree_leaves",
+    "delay_corners",
+    "driving_point_moments",
+    "effective_capacitance",
+    "uniform_tolerances",
+    "measure_delay",
+    "pi_model",
+    "slew_time",
+]

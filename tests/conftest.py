@@ -1,0 +1,73 @@
+"""Shared fixtures: canonical circuits used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Circuit
+
+
+@pytest.fixture
+def single_rc() -> Circuit:
+    """Vin — 1 kΩ — node 1 — 1 pF: pole at −1e9, τ = 1 ns."""
+    ckt = Circuit("single RC")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", 1e3)
+    ckt.add_capacitor("C1", "1", "0", 1e-12)
+    return ckt
+
+
+@pytest.fixture
+def rc_ladder3() -> Circuit:
+    """Three-section uniform 1 kΩ / 1 pF ladder (three real poles)."""
+    ckt = Circuit("3-section ladder")
+    ckt.add_voltage_source("Vin", "in", "0")
+    previous = "in"
+    for i in range(1, 4):
+        ckt.add_resistor(f"R{i}", previous, str(i), 1e3)
+        ckt.add_capacitor(f"C{i}", str(i), "0", 1e-12)
+        previous = str(i)
+    return ckt
+
+
+@pytest.fixture
+def series_rlc() -> Circuit:
+    """Underdamped series RLC: R = 10 Ω, L = 10 nH, C = 1 pF."""
+    ckt = Circuit("series RLC")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "a", 10.0)
+    ckt.add_inductor("L1", "a", "b", 10e-9)
+    ckt.add_capacitor("C1", "b", "0", 1e-12)
+    return ckt
+
+
+@pytest.fixture
+def charge_share_pair() -> Circuit:
+    """Two caps joined by resistors; C2 pre-charged to 5 V (nonequilibrium)."""
+    ckt = Circuit("charge sharing pair")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", 1e3)
+    ckt.add_resistor("R2", "1", "2", 1e3)
+    ckt.add_capacitor("C1", "1", "0", 1e-12)
+    ckt.add_capacitor("C2", "2", "0", 1e-12, initial_voltage=5.0)
+    return ckt
+
+
+@pytest.fixture
+def floating_node_circuit() -> Circuit:
+    """A node reachable only through capacitors (charge conservation)."""
+    ckt = Circuit("floating node")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", 1e3)
+    ckt.add_capacitor("C1", "1", "0", 1e-12)
+    ckt.add_capacitor("Cc", "1", "f", 0.5e-12)
+    ckt.add_capacitor("Cf", "f", "0", 2e-12)
+    return ckt
+
+
+def assert_waveforms_close(reference, candidate, tolerance: float):
+    """Max pointwise difference relative to the reference swing."""
+    diff = np.abs(reference.values - candidate(reference.times)).max()
+    swing = max(abs(reference.values.max() - reference.values.min()), 1e-30)
+    assert diff <= tolerance * swing, f"waveforms differ by {diff/swing:.3g} (rel)"

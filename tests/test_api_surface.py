@@ -1,0 +1,98 @@
+"""Public-API surface regression tests.
+
+Guards the contract a downstream user relies on: everything in each
+package's ``__all__`` exists, is importable, and the top-level `repro`
+namespace re-exports the advertised core names.  A rename or a dropped
+re-export fails here before it fails in someone's notebook.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.circuit",
+    "repro.analysis",
+    "repro.core",
+    "repro.rctree",
+    "repro.timing",
+    "repro.papercircuits",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} has no __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    exported = list(package.__all__)
+    assert len(exported) == len(set(exported)), f"{package_name}: duplicates"
+
+
+TOP_LEVEL_CONTRACT = [
+    # the quickstart names every README example depends on
+    "Circuit", "Resistor", "Capacitor", "Inductor", "VoltageSource",
+    "CurrentSource", "Step", "Ramp", "Pulse", "PWL", "DC",
+    "AweAnalyzer", "AweResponse", "AweWaveform", "PoleResidueModel",
+    "awe_response", "simulate", "circuit_poles", "MnaSystem",
+    "parse_netlist", "parse_netlist_file", "Waveform", "l2_error",
+    # the exception hierarchy
+    "ReproError", "CircuitError", "NetlistParseError", "TopologyError",
+    "SingularCircuitError", "AnalysisError", "ApproximationError",
+    "MomentMatrixError", "OrderLimitError", "UnstableApproximationError",
+]
+
+
+def test_top_level_contract():
+    import repro
+
+    for name in TOP_LEVEL_CONTRACT:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version_is_pep440ish():
+    import re
+
+    import repro
+
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_exception_hierarchy_roots():
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_paper_circuit_constructors_are_pure():
+    """Calling a constructor twice yields independent equal circuits."""
+    from repro.papercircuits import fig16_stiff_rc_tree
+
+    a, b = fig16_stiff_rc_tree(), fig16_stiff_rc_tree()
+    assert a is not b
+    a.set_initial_voltage("C6", 1.0)
+    assert b["C6"].initial_voltage is None
+
+
+def test_cli_parser_builds():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    commands = {"report", "poles", "simulate", "sensitivity"}
+    # argparse stores subparsers internally; probing via parse of --help
+    # would exit, so check the registered choices directly.
+    subparsers = next(
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    )
+    assert commands <= set(subparsers.choices)

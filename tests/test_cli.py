@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+DECK = """\
+cli test net
+Vin in 0 STEP(0 5)
+R1 in 1 1k
+C1 1 0 1p
+R2 1 2 2k
+C2 2 0 0.5p
+.end
+"""
+
+
+@pytest.fixture
+def deck_file(tmp_path):
+    path = tmp_path / "net.sp"
+    path.write_text(DECK)
+    return str(path)
+
+
+class TestReport:
+    def test_basic_report(self, deck_file, capsys):
+        assert main(["report", deck_file, "--node", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "AWE timing report" in out
+        assert "cli test net" in out
+        assert " 2 " in out
+
+    def test_fixed_order(self, deck_file, capsys):
+        assert main(["report", deck_file, "--node", "2", "--order", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "    1 " in out
+
+    def test_threshold_column(self, deck_file, capsys):
+        assert main(
+            ["report", deck_file, "--node", "2", "--threshold", "4.0"]
+        ) == 0
+        assert "thr delay" in capsys.readouterr().out
+
+    def test_multiple_nodes(self, deck_file, capsys):
+        assert main(["report", deck_file, "--node", "1", "--node", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n  1 ") + out.count("\n  2 ") >= 2
+
+    def test_missing_deck(self, capsys):
+        assert main(["report", "/nonexistent.sp", "--node", "2"]) == 2
+
+    def test_bad_node(self, deck_file, capsys):
+        assert main(["report", deck_file, "--node", "zz"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPoles:
+    def test_exact_poles(self, deck_file, capsys):
+        assert main(["poles", deck_file]) == 0
+        out = capsys.readouterr().out
+        assert "exact poles (2)" in out
+
+    def test_awe_poles(self, deck_file, capsys):
+        assert main(["poles", deck_file, "--order", "2", "--node", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "AWE poles, order 2" in out
+
+    def test_order_without_node(self, deck_file, capsys):
+        assert main(["poles", deck_file, "--order", "2"]) == 2
+
+
+class TestSimulate:
+    def test_summary(self, deck_file, capsys):
+        assert main(["simulate", deck_file, "--node", "2", "--t-stop", "2e-8"]) == 0
+        out = capsys.readouterr().out
+        assert "transient:" in out
+        assert "v(2)" in out
+
+    def test_csv_output(self, deck_file, tmp_path, capsys):
+        csv = str(tmp_path / "wave.csv")
+        assert main(
+            ["simulate", deck_file, "--node", "1", "--node", "2",
+             "--t-stop", "2e-8", "--csv", csv]
+        ) == 0
+        data = np.genfromtxt(csv, delimiter=",", names=True)
+        assert {"time", "v1", "v2"} <= set(data.dtype.names)
+        assert data["v2"][-1] == pytest.approx(5.0, rel=1e-2)
+
+
+class TestShippedDecks:
+    """The decks under examples/decks must stay loadable by every command."""
+
+    @pytest.fixture(params=["bus_segment.sp", "pcb_trace.sp"])
+    def shipped(self, request):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "decks", request.param)
+        return os.path.abspath(path)
+
+    def test_poles(self, shipped, capsys):
+        assert main(["poles", shipped]) == 0
+        assert "exact poles" in capsys.readouterr().out
+
+    def test_report_runs(self, shipped, capsys):
+        node = "a3" if "bus" in shipped else "t6"
+        assert main(["report", shipped, "--node", node, "--target", "0.05"]) == 0
+
+    def test_victim_without_transition_reports_na(self, capsys):
+        import os
+
+        deck = os.path.abspath(os.path.join(
+            os.path.dirname(__file__), "..", "examples", "decks",
+            "bus_segment.sp"))
+        assert main(["report", deck, "--node", "v2", "--target", "0.05"]) == 0
+        assert "n/a" in capsys.readouterr().out
+
+
+class TestSensitivity:
+    def test_report(self, deck_file, capsys):
+        assert main(["sensitivity", deck_file, "--node", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Elmore" in out
+        assert "R1" in out and "C2" in out
+
+    def test_top_limit(self, deck_file, capsys):
+        assert main(["sensitivity", deck_file, "--node", "2", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        # Header + exactly two contributor lines mentioning elements.
+        contributor_lines = [l for l in out.splitlines() if l.startswith("  R") or l.startswith("  C")]
+        assert len(contributor_lines) == 2
+
+    def test_unknown_node(self, deck_file, capsys):
+        assert main(["sensitivity", deck_file, "--node", "zz"]) == 1
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,103 @@
+"""Tests for gradient-guided process-corner delay analysis."""
+
+import itertools
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import delay_sensitivities
+from repro.errors import AnalysisError
+from repro.papercircuits import fig4_rc_tree, fig9_grounded_resistor, random_rc_tree
+from repro.timing import delay_corners, uniform_tolerances
+
+
+class TestBasics:
+    def test_ordering(self):
+        circuit = fig4_rc_tree()
+        report = delay_corners(circuit, "4", uniform_tolerances(circuit, 0.1),
+                               {"Vin": 5.0})
+        assert report.corner_low < report.nominal < report.corner_high
+        assert report.linear_low < report.nominal < report.linear_high
+
+    def test_linear_matches_exact_for_small_tolerance(self):
+        circuit = fig4_rc_tree()
+        report = delay_corners(circuit, "4", uniform_tolerances(circuit, 0.01),
+                               {"Vin": 5.0})
+        assert report.corner_high == pytest.approx(report.linear_high, rel=1e-3)
+        assert report.corner_low == pytest.approx(report.linear_low, rel=1e-3)
+
+    def test_tree_slow_corner_scales_everything_up(self):
+        # On an RC tree every on-path gradient is ≥ 0, so the slow corner
+        # has every element at +tol.
+        circuit = fig4_rc_tree()
+        report = delay_corners(circuit, "4", uniform_tolerances(circuit, 0.2),
+                               {"Vin": 5.0})
+        # Each element scaled up by 1.2 ⇒ delay scales by 1.2² = 1.44
+        # exactly (T_D is bilinear in R and C).
+        assert report.corner_high == pytest.approx(report.nominal * 1.44, rel=1e-9)
+
+    def test_partial_tolerances(self):
+        circuit = fig4_rc_tree()
+        report = delay_corners(circuit, "4", {"R4": 0.5}, {"Vin": 5.0})
+        # Only R4 varies: ΔT = ±0.5·R4·C4.
+        assert report.corner_high - report.nominal == pytest.approx(
+            0.5 * 1e3 * 0.1e-6, rel=1e-9
+        )
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown"):
+            delay_corners(fig4_rc_tree(), "4", {"Rxx": 0.1}, {"Vin": 5.0})
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(AnalysisError):
+            delay_corners(fig4_rc_tree(), "4", {"R1": 1.5}, {"Vin": 5.0})
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_gradient_corner_is_the_true_extreme(self, seed):
+        """Enumerate all 2^n corners of a small net: the gradient-built
+        corner must be the global extreme (monotonicity of the first
+        moment in each element)."""
+        circuit = random_rc_tree(3, seed=seed)
+        node = circuit.nodes[-1]
+        names = [e.name for e in circuit if hasattr(e, "resistance")]
+        names += [e.name for e in circuit.capacitors]
+        tol = 0.3
+        report = delay_corners(circuit, node, {n: tol for n in names}, {"Vin": 1.0})
+
+        delays = []
+        for signs in itertools.product((-1, 1), repeat=len(names)):
+            corner = circuit.copy()
+            for name, sign in zip(names, signs):
+                element = corner[name]
+                if hasattr(element, "resistance"):
+                    corner.replace(dataclasses.replace(
+                        element, resistance=element.resistance * (1 + sign * tol)))
+                else:
+                    corner.replace(dataclasses.replace(
+                        element, capacitance=element.capacitance * (1 + sign * tol)))
+            delays.append(
+                delay_sensitivities(corner, node, {"Vin": 1.0}).elmore_delay
+            )
+        assert report.corner_high == pytest.approx(max(delays), rel=1e-9)
+        assert report.corner_low == pytest.approx(min(delays), rel=1e-9)
+
+    def test_grounded_resistor_mixed_gradient(self):
+        """Fig. 9's R5 *reduces* the delay scale; its slow-corner direction
+        is therefore downward — the gradient handles the sign flip the
+        uniform 'everything up' heuristic would get wrong."""
+        circuit = fig9_grounded_resistor()
+        sens = delay_sensitivities(circuit, "4", {"Vin": 5.0})
+        assert sens.d_resistance["R5"] != 0.0
+        report = delay_corners(circuit, "4", uniform_tolerances(circuit, 0.1),
+                               {"Vin": 5.0})
+        slow_r5 = report.slow_corner["R5"].resistance
+        if sens.d_resistance["R5"] > 0:
+            assert slow_r5 > 4.0
+        else:
+            assert slow_r5 < 4.0
+        # And the exact corner spread brackets the nominal.
+        assert report.corner_low < report.nominal < report.corner_high

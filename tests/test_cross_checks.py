@@ -1,0 +1,184 @@
+"""Cross-cutting regression tests: independent implementations must agree.
+
+Each test here pits two (or three) different code paths against each other
+on the same physics — the redundancy that catches sign and convention
+slips no single-module unit test would.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AweAnalyzer,
+    Circuit,
+    MnaSystem,
+    Ramp,
+    Step,
+    circuit_poles,
+    simulate,
+)
+from repro.core.error import cauchy_bound_distance, exact_l2_distance
+from repro.core.model import PoleResidueModel
+from repro.core.transfer import reduce_transfer
+from repro.papercircuits import fig4_rc_tree, fig9_grounded_resistor, rc_ladder
+from repro.rctree import generalized_elmore_delay, two_pole_model
+from repro.timing import pi_model
+
+
+class TestIntegratorsAgree:
+    @pytest.mark.parametrize("method", ["trbdf2", "trapezoidal", "backward_euler"])
+    def test_all_methods_converge_to_same_waveform(self, series_rlc, method):
+        reference = 5 * 1.0  # final value
+        # Backward Euler is first-order: Richardson needs a looser target
+        # to converge on a ringing waveform in a sane number of doublings.
+        tolerance = 1e-2 if method == "backward_euler" else 1e-3
+        result = simulate(series_rlc, {"Vin": Step(0, 5)}, 2e-8, method=method,
+                          refine_tolerance=tolerance)
+        w = result.voltage("b")
+        assert w.values[-1] == pytest.approx(reference, rel=5e-3)
+        # All three must agree with the modal-exact answer at mid-swing.
+        t_mid = 1e-9
+        from repro.analysis.dcop import (
+            dc_operating_point,
+            initial_operating_point,
+            resolve_initial_storage_state,
+        )
+        from repro.analysis.poles import exact_homogeneous_response
+
+        system = MnaSystem(series_rlc)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(series_rlc, system, state, {"Vin": 5.0})
+        xf = dc_operating_point(system, {"Vin": 5.0})
+        modal = exact_homogeneous_response(system, x0 - xf)
+        exact_mid = xf[system.index.node("b")] + modal.evaluate(
+            system.index.node("b"), np.array([t_mid])
+        )[0]
+        assert w(t_mid) == pytest.approx(exact_mid, abs=0.05)
+
+
+class TestDelayDefinitionsAgree:
+    def test_four_elmore_routes(self):
+        """Tree walk, tree/link, first-order AWE pole, generalized eq. 3 —
+        four implementations of the same number."""
+        from repro.rctree import elmore_delays, treelink_elmore_delays
+
+        circuit = fig4_rc_tree()
+        walk = elmore_delays(circuit)["4"]
+        treelink = treelink_elmore_delays(circuit, 5.0)["C4"]
+        awe_pole = AweAnalyzer(circuit, {"Vin": Step(0, 5)}).response(
+            "4", order=1
+        ).poles[0].real
+        area = generalized_elmore_delay(circuit, "4", {"Vin": 5.0})
+        assert treelink == pytest.approx(walk, rel=1e-10)
+        assert -1.0 / awe_pole == pytest.approx(walk, rel=1e-10)
+        assert area == pytest.approx(walk, rel=1e-10)
+
+    def test_two_pole_vs_transfer_reduction(self):
+        """The standalone two-pole fit and the frequency-domain q=2
+        reduction see the same circuit; their poles must agree (the
+        transfer form has no initial-value row, so agreement is a
+        nontrivial consistency check between the two matching systems)."""
+        circuit = fig4_rc_tree()
+        time_domain = two_pole_model(circuit, "4", 5.0)
+        freq_domain = reduce_transfer(MnaSystem(circuit), "Vin", "4", 2)
+        np.testing.assert_allclose(
+            np.sort(np.array(time_domain.poles).real),
+            np.sort(freq_domain.poles.real),
+            rtol=1e-6,
+        )
+
+
+class TestTransferVsTimeDomain:
+    def test_step_response_two_routes(self, rc_ladder3):
+        """TransferModel.step_response vs the AweAnalyzer waveform."""
+        system = MnaSystem(rc_ladder3)
+        model = reduce_transfer(system, "Vin", "3", 3)
+        analyzer = AweAnalyzer(rc_ladder3, {"Vin": Step(0, 5)})
+        response = analyzer.response("3", order=3)
+        t = np.linspace(0, 2e-8, 200)
+        np.testing.assert_allclose(
+            model.step_response(t, amplitude=5.0),
+            response.waveform.evaluate(t),
+            atol=1e-8,
+        )
+
+    def test_pi_model_consistent_with_elmore(self):
+        """The driving-point y₁ (= ΣC) and the source-side Elmore view."""
+        circuit = rc_ladder(6)
+        pi = pi_model(MnaSystem(circuit), "Vin")
+        total = sum(c.capacitance for c in circuit.capacitors)
+        assert pi.total_capacitance == pytest.approx(total, rel=1e-9)
+
+
+class TestErrorEstimatorsOrdering:
+    def test_cauchy_vs_exact_on_mixed_orders(self):
+        """The paper's eq. 46 case: a complex pair reference vs a
+        lower-order candidate with one real pole — the bound must cover
+        the exact distance and stay finite."""
+        reference = PoleResidueModel((
+            (complex(-1.0, 4.0), 1, complex(1.0, -0.5)),
+            (complex(-1.0, -4.0), 1, complex(1.0, 0.5)),
+            (complex(-6.0), 1, complex(0.4)),
+        ))
+        candidate = PoleResidueModel((
+            (complex(-1.1, 3.9), 1, complex(0.9, -0.6)),
+            (complex(-1.1, -3.9), 1, complex(0.9, 0.6)),
+        ))
+        exact = exact_l2_distance(reference, candidate)
+        bound = cauchy_bound_distance(reference, candidate)
+        assert np.isfinite(bound)
+        assert bound >= exact * (1 - 1e-9)
+
+
+class TestStimulusEquivalences:
+    def test_pwl_step_equals_step(self, rc_ladder3):
+        """A PWL encoding of a step must produce the identical response."""
+        from repro.analysis.sources import PWL
+
+        step = AweAnalyzer(rc_ladder3, {"Vin": Step(0, 5)}).response("3", order=2)
+        pwl = AweAnalyzer(
+            rc_ladder3, {"Vin": PWL([(0.0, 0.0), (0.0, 5.0)])}
+        ).response("3", order=2)
+        t = np.linspace(0, 1.5e-8, 300)
+        np.testing.assert_allclose(step.waveform.evaluate(t),
+                                   pwl.waveform.evaluate(t), rtol=1e-9)
+
+    def test_two_half_sources_equal_one(self):
+        """Linearity across sources: two stacked half-swing sources in
+        series equal one full-swing source."""
+        def ladder_with(sources):
+            ckt = Circuit("stacked")
+            if sources == 1:
+                ckt.add_voltage_source("V1", "in", "0")
+            else:
+                ckt.add_voltage_source("V1", "in", "mid")
+                ckt.add_voltage_source("V2", "mid", "0")
+            ckt.add_resistor("R1", "in", "a", 1e3)
+            ckt.add_capacitor("C1", "a", "0", 1e-12)
+            return ckt
+
+        single = AweAnalyzer(ladder_with(1), {"V1": Step(0, 5)}).response("a", order=1)
+        stacked = AweAnalyzer(
+            ladder_with(2), {"V1": Step(0, 2.5), "V2": Step(0, 2.5)}
+        ).response("a", order=1)
+        t = np.linspace(0, 5e-9, 100)
+        np.testing.assert_allclose(single.waveform.evaluate(t),
+                                   stacked.waveform.evaluate(t), rtol=1e-9)
+
+
+class TestGroundedResistorConsistency:
+    def test_final_values_three_routes(self):
+        circuit = fig9_grounded_resistor()
+        expected = 5.0 * 4.0 / 7.0
+        # DC solve
+        system = MnaSystem(circuit)
+        from repro.analysis.dcop import dc_operating_point
+
+        x = dc_operating_point(system, {"Vin": 5.0})
+        assert x[system.index.node("4")] == pytest.approx(expected)
+        # AWE final value
+        response = AweAnalyzer(circuit, {"Vin": Step(0, 5)}).response("4", order=2)
+        assert response.waveform.final_value() == pytest.approx(expected)
+        # Transient tail
+        w = simulate(circuit, {"Vin": Step(0, 5)}, 60.0).voltage("4")
+        assert w.values[-1] == pytest.approx(expected, rel=1e-3)

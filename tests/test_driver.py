@@ -1,0 +1,272 @@
+"""Tests for the AWE driver: decomposition, order selection, accuracy.
+
+Every accuracy assertion compares against the exact modal solution or the
+converged transient simulator — the same cross-check discipline the paper
+applies against SPICE.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AweAnalyzer, Circuit, awe_response, simulate
+from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step
+from repro.errors import (
+    ApproximationError,
+    OrderLimitError,
+    ReproError,
+)
+from repro.waveform import l2_error
+
+
+def transient_reference(circuit, stimuli, t_stop, node):
+    return simulate(circuit, stimuli, t_stop).voltage(node)
+
+
+class TestFirstOrderEquivalence:
+    def test_single_rc_is_exact(self, single_rc):
+        response = awe_response(single_rc, {"Vin": Step(0, 5)}, "1", order=1)
+        t = np.linspace(0, 5e-9, 64)
+        np.testing.assert_allclose(
+            response.waveform.evaluate(t), 5 * (1 - np.exp(-t / 1e-9)), rtol=1e-9
+        )
+
+    def test_pole_is_reciprocal_elmore(self, rc_ladder3):
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=1)
+        elmore = 1e3 * (3 + 2 + 1) * 1e-12
+        assert response.poles[0].real == pytest.approx(-1 / elmore)
+
+    def test_delay_50(self, single_rc):
+        response = awe_response(single_rc, {"Vin": Step(0, 5)}, "1", order=1)
+        assert response.delay_50() == pytest.approx(1e-9 * np.log(2), rel=1e-3)
+
+    def test_threshold_delay(self, single_rc):
+        response = awe_response(single_rc, {"Vin": Step(0, 5)}, "1", order=1)
+        assert response.delay(4.0) == pytest.approx(-1e-9 * np.log(0.2), rel=1e-3)
+
+
+class TestOrderBehaviour:
+    def test_full_order_recovers_exact_poles(self, rc_ladder3):
+        from repro import MnaSystem, circuit_poles
+
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=3)
+        exact = circuit_poles(MnaSystem(rc_ladder3)).poles
+        np.testing.assert_allclose(
+            np.sort(response.poles.real), np.sort(exact.real), rtol=1e-6
+        )
+
+    def test_error_estimate_decreases_with_order(self, rc_ladder3):
+        analyzer = AweAnalyzer(rc_ladder3, {"Vin": Step(0, 5)})
+        e1 = analyzer.response("3", order=1).error_estimate
+        e2 = analyzer.response("3", order=2).error_estimate
+        assert e2 < e1
+
+    def test_auto_order_meets_target(self, rc_ladder3):
+        analyzer = AweAnalyzer(rc_ladder3, {"Vin": Step(0, 5)})
+        response = analyzer.response("3", error_target=0.005)
+        assert response.error_estimate <= 0.005
+
+    def test_auto_order_skips_unstable(self, charge_share_pair):
+        # The nonmonotone charge-sharing response needs q >= 2.
+        analyzer = AweAnalyzer(charge_share_pair, {"Vin": DC(0.0)})
+        response = analyzer.response("1", error_target=0.01)
+        assert response.order >= 2
+        assert response.waveform.is_stable
+
+    def test_fixed_order_collapses_when_overspecified(self, single_rc):
+        response = awe_response(single_rc, {"Vin": Step(0, 5)}, "1", order=4)
+        assert response.order == 1  # single pole circuit
+
+    def test_order_limit_error(self, charge_share_pair):
+        analyzer = AweAnalyzer(charge_share_pair, {"Vin": DC(0.0)}, max_order=1)
+        with pytest.raises(OrderLimitError):
+            analyzer.response("1", error_target=1e-6)
+
+    def test_error_estimate_zero_at_exact_order(self, rc_ladder3):
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=3)
+        assert response.error_estimate == pytest.approx(0.0, abs=1e-9)
+
+    def test_unverifiable_orders_fall_back_not_accept(self):
+        # A magnetically coupled pair: intermediate (q+1) references go
+        # unstable / ill-conditioned, so several orders are unverifiable.
+        # The escalation must not blindly accept the first such order; it
+        # returns a stable fallback (with estimate None) or a verified one.
+        from repro.papercircuits import magnetically_coupled_lines
+        from repro.analysis.sources import Ramp
+
+        circuit = magnetically_coupled_lines(3, inductive_k=0.35)
+        analyzer = AweAnalyzer(circuit, {"Vagg": Ramp(0, 3.3, rise_time=0.3e-9)},
+                               max_order=10)
+        response = analyzer.response("v3", error_target=0.05)
+        assert response.waveform.is_stable
+        # The picked order is beyond the first stable one (q=1 is stable
+        # on this circuit but unverified; escalation kept going).
+        assert response.order > 1
+
+    def test_exactness_claim_needs_roundoff_level_reproduction(self, rc_ladder3):
+        # Genuinely exact order (3-pole circuit at q=3): estimate 0 even
+        # under the tight reproduction tolerance.
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=3)
+        assert response.error_estimate == 0.0
+
+
+class TestAccuracyAgainstTransient:
+    # Order 3 is exact for a 3-pole circuit; the floor is the transient
+    # reference's own convergence tolerance, not AWE.
+    @pytest.mark.parametrize("order,tolerance", [(1, 0.15), (2, 0.02), (3, 1e-3)])
+    def test_ladder_step(self, rc_ladder3, order, tolerance):
+        reference = transient_reference(rc_ladder3, {"Vin": Step(0, 5)}, 2e-8, "3")
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=order)
+        assert l2_error(reference, response.waveform.to_waveform(reference.times)) < tolerance
+
+    def test_ramp_input(self, rc_ladder3):
+        stimuli = {"Vin": Ramp(0, 5, rise_time=2e-9)}
+        reference = transient_reference(rc_ladder3, stimuli, 2e-8, "3")
+        response = awe_response(rc_ladder3, stimuli, "3", order=2)
+        assert l2_error(reference, response.waveform.to_waveform(reference.times)) < 0.02
+
+    def test_pulse_input(self, rc_ladder3):
+        stimuli = {"Vin": Pulse(0, 5, delay=0, rise=1e-9, width=4e-9, fall=1e-9)}
+        reference = transient_reference(rc_ladder3, stimuli, 2.5e-8, "3")
+        response = awe_response(rc_ladder3, stimuli, "3", order=3)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 0.02 * 5
+
+    def test_pwl_input(self, rc_ladder3):
+        stimuli = {"Vin": PWL([(0, 0), (1e-9, 3), (3e-9, 3), (4e-9, 5)])}
+        reference = transient_reference(rc_ladder3, stimuli, 2.5e-8, "3")
+        response = awe_response(rc_ladder3, stimuli, "3", order=3)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 0.02 * 5
+
+    def test_nonequilibrium_ic(self, charge_share_pair):
+        reference = transient_reference(charge_share_pair, {"Vin": DC(0.0)}, 1.5e-8, "1")
+        response = awe_response(charge_share_pair, {"Vin": DC(0.0)}, "1", order=2)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 1e-3
+
+    def test_rlc_complex_poles(self, series_rlc):
+        reference = transient_reference(series_rlc, {"Vin": Step(0, 5)}, 3e-8, "b")
+        response = awe_response(series_rlc, {"Vin": Step(0, 5)}, "b", order=2)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 5e-3
+
+    def test_inductor_initial_current(self, series_rlc):
+        series_rlc.set_initial_current("L1", 5e-3)
+        series_rlc.set_initial_voltage("C1", 0.0)
+        # Many ringing periods make pointwise 1e-4 convergence expensive;
+        # 5e-4 over a 1.2e-8 window is plenty for a 5e-3-swing check.
+        reference = simulate(
+            series_rlc, {"Vin": DC(0.0)}, 1.2e-8, refine_tolerance=5e-4
+        ).voltage("b")
+        response = awe_response(series_rlc, {"Vin": DC(0.0)}, "b", order=2)
+        candidate = response.waveform.to_waveform(reference.times)
+        swing = np.abs(reference.values).max()
+        assert np.abs(candidate.values - reference.values).max() < 5e-3 * swing
+
+    def test_floating_node_charge_conservation(self, floating_node_circuit):
+        reference = transient_reference(
+            floating_node_circuit, {"Vin": Step(0, 5)}, 2e-8, "f"
+        )
+        response = awe_response(floating_node_circuit, {"Vin": Step(0, 5)}, "f", order=2)
+        assert response.waveform.final_value() == pytest.approx(1.0, rel=1e-9)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 1e-3
+
+    def test_delayed_step(self, rc_ladder3):
+        stimuli = {"Vin": Step(0, 5, delay=3e-9)}
+        reference = transient_reference(rc_ladder3, stimuli, 2.5e-8, "3")
+        response = awe_response(rc_ladder3, stimuli, "3", order=3)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 1e-3
+        # Nothing happens before the event.
+        assert abs(float(response.waveform.evaluate(1e-9))) < 1e-9
+
+
+class TestStabilize:
+    def build_unstable_case(self):
+        from repro.papercircuits import magnetically_coupled_lines
+
+        circuit = magnetically_coupled_lines(4, inductive_k=0.35)
+        stimuli = {"Vagg": Ramp(0, 3.3, rise_time=0.3e-9)}
+        return AweAnalyzer(circuit, stimuli, max_order=12), circuit
+
+    def test_partial_pade_recovers_evaluable_model(self):
+        analyzer, circuit = self.build_unstable_case()
+        raw = analyzer.response("v4", order=4)
+        assert not raw.waveform.is_stable  # the case that needs help
+        fixed = analyzer.response("v4", order=4, stabilize=True)
+        assert fixed.waveform.is_stable
+        assert fixed.order < 4  # something was discarded
+        notes = [e for c in fixed.components for e in c.escalations]
+        assert any("right-half-plane" in n for n in notes)
+
+    def test_stabilized_model_still_accurate(self):
+        analyzer, circuit = self.build_unstable_case()
+        fixed = analyzer.response("v4", order=4, stabilize=True)
+        reference = simulate(circuit, {"Vagg": Ramp(0, 3.3, rise_time=0.3e-9)},
+                             8e-9, refine_tolerance=1e-3).voltage("v4")
+        candidate = fixed.waveform.to_waveform(reference.times)
+        peak = np.abs(reference.values).max()
+        assert np.abs(candidate.values - reference.values).max() < 0.5 * peak
+
+    def test_stabilize_noop_on_stable_fit(self, rc_ladder3):
+        plain = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=2)
+        fixed = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=2,
+                             stabilize=True)
+        np.testing.assert_allclose(np.sort(plain.poles.real),
+                                   np.sort(fixed.poles.real))
+
+
+class TestSlopeMatching:
+    def test_ramp_initial_slope_fixed(self, rc_ladder3):
+        stimuli = {"Vin": Ramp(0, 5, rise_time=2e-9)}
+        free = awe_response(rc_ladder3, stimuli, "3", order=2)
+        matched = awe_response(
+            rc_ladder3, stimuli, "3", order=2, match_initial_slope=True
+        )
+        dt = 1e-13
+        slope_free = float(free.waveform.evaluate(dt) - free.waveform.evaluate(0.0)) / dt
+        slope_matched = (
+            float(matched.waveform.evaluate(dt) - matched.waveform.evaluate(0.0)) / dt
+        )
+        # The physical response starts with zero slope; matching must get
+        # much closer to zero than the free fit.
+        assert abs(slope_matched) < 0.2 * abs(slope_free)
+
+    def test_slope_matching_needs_grounded_cap(self, series_rlc):
+        # Node "a" has no grounded capacitor.
+        with pytest.raises(ApproximationError, match="grounded capacitor"):
+            awe_response(series_rlc, {"Vin": Ramp(0, 5, rise_time=1e-9)}, "a",
+                         order=2, match_initial_slope=True)
+
+
+class TestInterface:
+    def test_ground_rejected(self, single_rc):
+        with pytest.raises(ApproximationError):
+            awe_response(single_rc, {}, "0", order=1)
+
+    def test_unknown_error_method(self, single_rc):
+        with pytest.raises(ReproError):
+            awe_response(single_rc, {"Vin": Step(0, 5)}, "1", order=1,
+                         error_method="bogus")
+
+    def test_cauchy_error_method_runs(self, rc_ladder3):
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=2,
+                                error_method="cauchy")
+        assert response.error_estimate is not None
+
+    def test_subproblems_cached(self, rc_ladder3):
+        analyzer = AweAnalyzer(rc_ladder3, {"Vin": Step(0, 5)})
+        assert analyzer.subproblems() is analyzer.subproblems()
+
+    def test_components_reported(self, rc_ladder3):
+        response = awe_response(rc_ladder3, {"Vin": Step(0, 5)}, "3", order=2)
+        assert len(response.components) == 1
+        assert response.components[0].order == 2
+
+    def test_equilibrium_start_gives_trivial_main_transient(self, rc_ladder3):
+        # DC input, equilibrium ICs: the response is a flat line.
+        analyzer = AweAnalyzer(rc_ladder3, {"Vin": DC(2.0)})
+        response = analyzer.response("3", order=2)
+        t = np.linspace(0, 1e-8, 32)
+        np.testing.assert_allclose(response.waveform.evaluate(t), 2.0, rtol=1e-9)

@@ -1,0 +1,147 @@
+"""Tests for circuit element dataclasses."""
+
+import pytest
+
+from repro.circuit.elements import (
+    CCCS,
+    CCVS,
+    GROUND,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+    canonical_node,
+)
+from repro.errors import CircuitError
+
+
+class TestCanonicalNode:
+    def test_ground_aliases(self):
+        for alias in ("0", "gnd", "GND", "Gnd"):
+            assert canonical_node(alias) == GROUND
+
+    def test_integer_nodes(self):
+        assert canonical_node(3) == "3"
+
+    def test_strips_whitespace(self):
+        assert canonical_node("  n1 ") == "n1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            canonical_node("  ")
+
+
+class TestResistor:
+    def test_conductance(self):
+        assert Resistor("R1", "a", "b", 100.0).conductance == 0.01
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", float("inf"))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "a", 10.0)
+
+    def test_self_loop_via_ground_alias(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "0", "gnd", 10.0)
+
+    def test_renamed(self):
+        r = Resistor("R1", "a", "b", 10.0).renamed("R2")
+        assert r.name == "R2" and r.resistance == 10.0
+
+    def test_no_current_variable(self):
+        assert not Resistor("R1", "a", "b", 1.0).needs_current_variable
+
+
+class TestCapacitor:
+    def test_grounded_detection(self):
+        assert Capacitor("C1", "a", "0", 1e-12).is_grounded
+        assert not Capacitor("C1", "a", "0", 1e-12).is_floating
+
+    def test_floating_detection(self):
+        cap = Capacitor("C1", "a", "b", 1e-12)
+        assert cap.is_floating and not cap.is_grounded
+
+    def test_initial_voltage_default_none(self):
+        assert Capacitor("C1", "a", "0", 1e-12).initial_voltage is None
+
+    def test_with_initial_voltage(self):
+        cap = Capacitor("C1", "a", "0", 1e-12).with_initial_voltage(2.5)
+        assert cap.initial_voltage == 2.5
+
+    def test_rejects_nan_ic(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "0", 1e-12, initial_voltage=float("nan"))
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "0", 0.0)
+
+
+class TestInductor:
+    def test_carries_current_variable(self):
+        assert Inductor("L1", "a", "b", 1e-9).needs_current_variable
+
+    def test_with_initial_current(self):
+        ind = Inductor("L1", "a", "b", 1e-9).with_initial_current(1e-3)
+        assert ind.initial_current == 1e-3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Inductor("L1", "a", "b", -1e-9)
+
+
+class TestSources:
+    def test_voltage_source_carries_current_variable(self):
+        assert VoltageSource("V1", "a", "0", 5.0).needs_current_variable
+
+    def test_current_source_does_not(self):
+        assert not CurrentSource("I1", "a", "0", 1e-3).needs_current_variable
+
+    def test_dc0_defaults_zero(self):
+        src = VoltageSource("V1", "a", "0", 5.0)
+        assert src.dc0 == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(CircuitError):
+            VoltageSource("V1", "a", "0", float("nan"))
+
+
+class TestControlledSources:
+    def test_vccs_nodes_canonicalised(self):
+        g = VCCS("G1", "a", "b", 1e-3, ctrl_positive="gnd", ctrl_negative="c")
+        assert g.ctrl_positive == GROUND
+
+    def test_vcvs_carries_current_variable(self):
+        e = VCVS("E1", "a", "b", 2.0, "c", "d")
+        assert e.needs_current_variable
+
+    def test_cccs_requires_control_name(self):
+        with pytest.raises(CircuitError):
+            CCCS("F1", "a", "b", 2.0, control_element="")
+
+    def test_ccvs_requires_control_name(self):
+        with pytest.raises(CircuitError):
+            CCVS("H1", "a", "b", 2.0, control_element="")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+
+class TestImmutability:
+    def test_elements_are_frozen(self):
+        resistor = Resistor("R1", "a", "b", 10.0)
+        with pytest.raises(Exception):
+            resistor.resistance = 20.0

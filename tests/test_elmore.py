@@ -1,0 +1,76 @@
+"""Tests for the Elmore tree-walk delay (paper Sec. II / eq. 50)."""
+
+import numpy as np
+import pytest
+
+from repro import MnaSystem
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.core.moments import homogeneous_moments
+from repro.papercircuits import fig4_rc_tree, fig4_elmore_delays, random_rc_tree
+from repro.rctree import elmore_delay, elmore_delays
+
+
+class TestFig4:
+    def test_matches_eq50_hand_values(self):
+        walk = elmore_delays(fig4_rc_tree())
+        hand = fig4_elmore_delays()
+        for node, expected in hand.items():
+            assert walk[node] == pytest.approx(expected)
+
+    def test_root_has_zero_delay(self):
+        assert elmore_delays(fig4_rc_tree())["in"] == 0.0
+
+    def test_single_node_helper(self):
+        assert elmore_delay(fig4_rc_tree(), "4") == pytest.approx(0.7e-3)
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            elmore_delay(fig4_rc_tree(), "zz")
+
+    def test_monotone_along_paths(self):
+        # Delay can only grow walking away from the root.
+        delays = elmore_delays(fig4_rc_tree())
+        assert delays["4"] > delays["3"] > delays["1"]
+        assert delays["2"] > delays["1"]
+
+
+class TestAgainstFirstMoment:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_equals_m0_over_swing_on_random_trees(self, seed):
+        # The Sec. IV claim: the Elmore delay IS the first AWE moment.
+        circuit = random_rc_tree(10, seed=seed)
+        system = MnaSystem(circuit)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(circuit, system, state, {"Vin": 1.0})
+        x_final = dc_operating_point(system, {"Vin": 1.0})
+        moments = homogeneous_moments(system, x0 - x_final, 1)
+        walk = elmore_delays(circuit)
+        for node in circuit.nodes:
+            if node == "in":
+                continue
+            row = system.index.node(node)
+            m0 = moments.sequence_for(row)[1]
+            assert walk[node] == pytest.approx(-m0, rel=1e-10)
+
+    def test_scaling_with_resistance(self):
+        base = elmore_delays(fig4_rc_tree())["4"]
+        doubled = elmore_delays(fig4_rc_tree(resistance=2e3))["4"]
+        assert doubled == pytest.approx(2 * base)
+
+    def test_scaling_with_capacitance(self):
+        base = elmore_delays(fig4_rc_tree())["4"]
+        doubled = elmore_delays(fig4_rc_tree(capacitance=0.2e-6))["4"]
+        assert doubled == pytest.approx(2 * base)
+
+
+class TestComplexity:
+    def test_linear_walk_handles_large_trees(self):
+        circuit = random_rc_tree(500, seed=3)
+        delays = elmore_delays(circuit)
+        assert len(delays) == 501  # 500 nodes + root
+        assert min(delays.values()) == 0.0
+        assert all(d >= 0 for d in delays.values())

@@ -1,0 +1,118 @@
+"""Tests for the Sec. 3.4 error estimators (exact L2 and Cauchy bound)."""
+
+import numpy as np
+import pytest
+
+from repro.core.error import (
+    cauchy_bound_distance,
+    cauchy_relative_error,
+    exact_l2_distance,
+    relative_error,
+    transient_energy,
+)
+from repro.core.model import PoleResidueModel
+
+
+def model(pole_residues, **kwargs):
+    terms = tuple((complex(p), 1, complex(k)) for p, k in pole_residues)
+    return PoleResidueModel(terms, **kwargs)
+
+
+def numeric_l2(model_a, model_b, t_stop, n=400001):
+    t = np.linspace(0, t_stop, n)
+    diff = model_a.transient_at(t) - model_b.transient_at(t)
+    return np.sqrt(np.trapezoid(diff * diff, t))
+
+
+class TestTransientEnergy:
+    def test_single_exponential(self):
+        # ∫ (k e^{pt})² = k²/(−2p).
+        m = model([(-2.0, 3.0)])
+        assert transient_energy(m) == pytest.approx(9.0 / 4.0)
+
+    def test_unstable_is_infinite(self):
+        assert transient_energy(model([(1.0, 1.0)])) == float("inf")
+
+    def test_complex_pair_energy_is_real(self):
+        m = model([(-1 + 5j, 1 - 1j), (-1 - 5j, 1 + 1j)])
+        t = np.linspace(0, 40, 400001)
+        numeric = np.trapezoid(m.transient_at(t) ** 2, t)
+        assert transient_energy(m) == pytest.approx(numeric, rel=1e-6)
+
+    def test_repeated_pole_energy(self):
+        # ∫ (t e^{-t})² dt = 2!/(2³) = 0.25.
+        m = PoleResidueModel(((complex(-1.0), 2, complex(1.0)),))
+        assert transient_energy(m) == pytest.approx(0.25)
+
+
+class TestExactDistance:
+    def test_matches_numeric_integration(self):
+        a = model([(-1.0, 2.0), (-3.0, -1.0)])
+        b = model([(-1.1, 2.1)])
+        assert exact_l2_distance(a, b) == pytest.approx(
+            numeric_l2(a, b, 60.0), rel=1e-6
+        )
+
+    def test_zero_for_identical(self):
+        a = model([(-1.0, 2.0)])
+        assert exact_l2_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_infinite_for_unstable(self):
+        a = model([(-1.0, 2.0)])
+        b = model([(1.0, 2.0)])
+        assert exact_l2_distance(a, b) == float("inf")
+
+    def test_complex_pairs(self):
+        a = model([(-1 + 5j, 1 - 1j), (-1 - 5j, 1 + 1j)])
+        b = model([(-1.2 + 4.8j, 0.9 - 1.1j), (-1.2 - 4.8j, 0.9 + 1.1j)])
+        assert exact_l2_distance(a, b) == pytest.approx(
+            numeric_l2(a, b, 50.0), rel=1e-6
+        )
+
+
+class TestRelativeError:
+    def test_normalisation(self):
+        reference = model([(-1.0, 2.0)])
+        candidate = model([(-1.0, 0.0)])  # zero transient
+        assert relative_error(reference, candidate) == pytest.approx(1.0)
+
+    def test_small_for_close_models(self):
+        reference = model([(-1.0, 2.0), (-30.0, 0.01)])
+        candidate = model([(-1.0, 2.0)])
+        assert relative_error(reference, candidate) < 0.01
+
+    def test_zero_transient_reference(self):
+        reference = model([])
+        candidate = model([])
+        assert relative_error(reference, candidate) == 0.0
+
+
+class TestCauchyBound:
+    def test_is_upper_bound_of_exact(self):
+        reference = model([(-1.0, 2.0), (-8.0, 0.5)])
+        candidate = model([(-1.05, 2.1)])
+        exact = exact_l2_distance(reference, candidate)
+        bound = cauchy_bound_distance(reference, candidate)
+        assert bound >= exact * 0.999
+
+    def test_exact_when_terms_align(self):
+        # The paper: the bound is exact when paired terms match exactly.
+        reference = model([(-1.0, 2.0), (-8.0, 0.5)])
+        candidate = model([(-1.0, 2.0), (-8.0, 0.5)])
+        assert cauchy_bound_distance(reference, candidate) == pytest.approx(0.0, abs=1e-12)
+
+    def test_complex_pair_grouping(self):
+        reference = model([(-1 + 5j, 1 - 1j), (-1 - 5j, 1 + 1j), (-4.0, 0.3)])
+        candidate = model([(-1.1 + 5.1j, 1 - 1j), (-1.1 - 5.1j, 1 + 1j)])
+        bound = cauchy_bound_distance(reference, candidate)
+        assert np.isfinite(bound) and bound > 0
+
+    def test_relative_form(self):
+        reference = model([(-1.0, 2.0), (-8.0, 0.5)])
+        candidate = model([(-1.05, 2.1)])
+        assert cauchy_relative_error(reference, candidate) >= relative_error(
+            reference, candidate
+        ) * 0.999
+
+    def test_unstable_infinite(self):
+        assert cauchy_bound_distance(model([(1.0, 1.0)]), model([(-1.0, 1.0)])) == float("inf")

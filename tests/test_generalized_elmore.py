@@ -1,0 +1,87 @@
+"""Tests for the eq. 3 generalized Elmore delay (grounded resistors,
+nonequilibrium initial conditions)."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, DC, Step, simulate
+from repro.errors import AnalysisError
+from repro.papercircuits import (
+    fig16_stiff_rc_tree,
+    fig4_rc_tree,
+    fig9_grounded_resistor,
+    rc_mesh,
+)
+from repro.rctree import (
+    elmore_delays,
+    generalized_elmore_delay,
+    settling_areas,
+)
+
+
+class TestReducesToElmore:
+    def test_matches_tree_walk_on_fig4(self):
+        walk = elmore_delays(fig4_rc_tree())
+        circuit = fig4_rc_tree()
+        circuit.replace(circuit["Vin"])  # no-op; keeps the default 0→dc step
+        for node in ("1", "2", "3", "4"):
+            value = generalized_elmore_delay(
+                circuit, node, source_values={"Vin": 5.0}
+            )
+            assert value == pytest.approx(walk[node], rel=1e-12)
+
+    def test_supply_invariant(self):
+        a = generalized_elmore_delay(fig4_rc_tree(), "4", {"Vin": 1.0})
+        b = generalized_elmore_delay(fig4_rc_tree(), "4", {"Vin": 5.0})
+        assert a == pytest.approx(b)
+
+
+class TestGroundedResistors:
+    def test_matches_numeric_area_on_fig9(self):
+        # Verify eq. 3 against a numerically integrated settled area.
+        circuit = fig9_grounded_resistor()
+        delay = generalized_elmore_delay(circuit, "4", {"Vin": 5.0})
+        result = simulate(circuit, {"Vin": Step(0, 5)}, 60.0)
+        w = result.voltage("4")
+        v_inf = 5.0 * 4.0 / 7.0
+        numeric = np.trapezoid(v_inf - w.values, w.times) / v_inf
+        assert delay == pytest.approx(numeric, rel=1e-3)
+
+    def test_mesh_supported(self):
+        delay = generalized_elmore_delay(rc_mesh(2, 2), "n1_1", {"Vin": 5.0})
+        assert delay > 0
+
+
+class TestChargeSharing:
+    def test_nonequilibrium_ic_delay_defined(self):
+        # Lin–Mead setting: nonmonotone response, still a delay number.
+        circuit = fig16_stiff_rc_tree(sharing_voltage=5.0)
+        delay = generalized_elmore_delay(circuit, "7", {"Vin": 5.0})
+        base = generalized_elmore_delay(fig16_stiff_rc_tree(), "7", {"Vin": 5.0})
+        # Pre-charged C6 helps the output along: the area delay shrinks.
+        assert 0 < delay < base
+
+    def test_pure_redistribution_rejected(self):
+        # Input held at 0: node 7 starts AND ends at 0 → eq. 3 undefined.
+        circuit = fig16_stiff_rc_tree(sharing_voltage=5.0)
+        with pytest.raises(AnalysisError, match="no net transition"):
+            generalized_elmore_delay(circuit, "7", {"Vin": 0.0},
+                                     pre_source_values={"Vin": 0.0})
+
+    def test_ground_rejected(self):
+        with pytest.raises(AnalysisError):
+            generalized_elmore_delay(fig4_rc_tree(), "0", {"Vin": 5.0})
+
+
+class TestSettlingAreas:
+    def test_area_equals_delay_times_swing(self):
+        circuit = fig9_grounded_resistor()
+        areas = settling_areas(circuit, {"Vin": 5.0})
+        delay = generalized_elmore_delay(circuit, "4", {"Vin": 5.0})
+        v_inf = 5.0 * 4.0 / 7.0
+        assert areas["4"] == pytest.approx(delay * v_inf, rel=1e-12)
+
+    def test_all_nodes_reported(self):
+        areas = settling_areas(fig4_rc_tree(), {"Vin": 5.0})
+        assert set(areas) == {"in", "1", "2", "3", "4"}
+        assert areas["in"] == pytest.approx(0.0, abs=1e-18)

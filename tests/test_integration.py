@@ -1,0 +1,242 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test exercises netlist → analysis → AWE → timing in one flow, the way
+a downstream user would, and checks against an independent reference
+(closed form, the exact modal solution, or the transient simulator).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AweAnalyzer,
+    MnaSystem,
+    Ramp,
+    Step,
+    circuit_poles,
+    parse_netlist,
+    simulate,
+)
+from repro.analysis.poles import exact_homogeneous_response
+from repro.papercircuits import coupled_rc_lines, rc_mesh, rlc_transmission_ladder
+from repro.timing import measure_delay
+from repro.waveform import l2_error
+
+CLOCK_TREE_DECK = """\
+clock spine with two branches
+Vin in 0 STEP(0 5)
+R1 in spine1 120
+C1 spine1 0 80f
+R2 spine1 spine2 150
+C2 spine2 0 60f
+R3 spine2 leafA 200
+C3 leafA 0 120f
+R4 spine2 leafB 90
+C4 leafB 0 45f
+.end
+"""
+
+
+class TestNetlistToTiming:
+    def test_parse_analyze_measure(self):
+        deck = parse_netlist(CLOCK_TREE_DECK)
+        analyzer = AweAnalyzer(deck.circuit, deck.stimuli)
+        response = analyzer.response("leafA", error_target=0.005)
+        window = response.waveform.suggested_window()
+        waveform = response.waveform.to_waveform(np.linspace(0, window, 2000))
+        report = measure_delay(waveform, threshold=2.5, v_final=5.0)
+        reference = simulate(deck.circuit, deck.stimuli, window).voltage("leafA")
+        true_delay = reference.threshold_delay(2.5)
+        assert report.threshold_delay == pytest.approx(true_delay, rel=0.01)
+
+    def test_parsed_circuit_poles_stable(self):
+        deck = parse_netlist(CLOCK_TREE_DECK)
+        poles = circuit_poles(MnaSystem(deck.circuit)).poles
+        assert np.all(poles.real < 0)
+
+
+class TestMeshesAndLines:
+    def test_rc_mesh_awe_vs_transient(self):
+        circuit = rc_mesh(3, 3)
+        stimuli = {"Vin": Step(0, 5)}
+        corner = "n2_2"
+        reference = simulate(circuit, stimuli, 3e-9).voltage(corner)
+        response = AweAnalyzer(circuit, stimuli).response(corner, error_target=0.005)
+        assert l2_error(reference, response.waveform.to_waveform(reference.times)) < 0.01
+
+    def test_transmission_line_auto_order(self):
+        circuit = rlc_transmission_ladder(5)
+        stimuli = {"Vin": Ramp(0, 5, rise_time=0.5e-9)}
+        response = AweAnalyzer(circuit, stimuli, max_order=10).response(
+            "5", error_target=0.02
+        )
+        assert response.order >= 2  # complex poles force at least 2nd order
+        reference = simulate(circuit, stimuli, 1.5e-8).voltage("5")
+        assert l2_error(reference, response.waveform.to_waveform(reference.times)) < 0.08
+
+    def test_crosstalk_victim_noise(self):
+        circuit = coupled_rc_lines(4, coupling=40e-15)
+        stimuli = {"Vagg": Step(0, 5), "Vvic": Step(0, 0)}
+        victim = "v4"
+        reference = simulate(circuit, stimuli, 5e-9).voltage(victim)
+        response = AweAnalyzer(circuit, stimuli).response(victim, error_target=0.02)
+        candidate = response.waveform.to_waveform(reference.times)
+        peak_ref = reference.values.max()
+        assert peak_ref > 0.05  # there is real crosstalk noise
+        assert abs(candidate.values.max() - peak_ref) < 0.15 * peak_ref
+        # Victim settles back to 0: coupled charge leaves again.
+        assert response.waveform.final_value() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestControlledSourceCircuits:
+    def build_amplified_line(self, gain=2.0):
+        from repro import Circuit
+
+        ckt = Circuit("line behind a VCVS driver")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("Rin", "in", "sense", 1e3)
+        ckt.add_capacitor("Csense", "sense", "0", 0.2e-12)
+        ckt.add_vcvs("E1", "drv", "0", "sense", "0", gain)
+        ckt.add_resistor("Rw", "drv", "out", 2e3)
+        ckt.add_capacitor("Cout", "out", "0", 0.5e-12)
+        return ckt
+
+    def test_vcvs_final_value_amplified(self):
+        ckt = self.build_amplified_line(gain=2.0)
+        response = AweAnalyzer(ckt, {"Vin": Step(0, 2)}).response("out", order=2)
+        assert response.waveform.final_value() == pytest.approx(4.0)
+
+    def test_vcvs_awe_vs_transient(self):
+        ckt = self.build_amplified_line()
+        stimuli = {"Vin": Step(0, 2)}
+        reference = simulate(ckt, stimuli, 2e-8).voltage("out")
+        response = AweAnalyzer(ckt, stimuli).response("out", order=2)
+        candidate = response.waveform.to_waveform(reference.times)
+        assert np.abs(candidate.values - reference.values).max() < 0.01 * 4
+
+    def test_vccs_load(self):
+        from repro import Circuit
+
+        ckt = Circuit("VCCS load")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("R1", "in", "a", 1e3)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        ckt.add_vccs("G1", "a", "0", "a", "0", 0.5e-3)  # extra 2k load to gnd
+        system = MnaSystem(ckt)
+        from repro.analysis.dcop import dc_operating_point
+
+        x = dc_operating_point(system, {"Vin": 3.0})
+        assert x[system.index.node("a")] == pytest.approx(2.0)  # 1k/2k divider
+
+    def test_cccs_tracks_transient(self):
+        from repro import Circuit
+
+        ckt = Circuit("current mirror-ish")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("R1", "in", "a", 1e3)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        ckt.add_cccs("F1", "b", "0", "Vin", -1.0)  # mirror the source current
+        ckt.add_resistor("R2", "b", "0", 2e3)
+        ckt.add_capacitor("C2", "b", "0", 1e-12)
+        stimuli = {"Vin": Step(0, 5)}
+        reference = simulate(ckt, stimuli, 2e-8).voltage("b")
+        response = AweAnalyzer(ckt, stimuli).response("b", error_target=0.01)
+        candidate = response.waveform.to_waveform(reference.times)
+        swing = np.abs(reference.values).max()
+        assert np.abs(candidate.values - reference.values).max() < 0.02 * swing
+
+
+EVERYTHING_DECK = """\
+kitchen sink: every element type in one net
+Vin in 0 STEP(0 5)
+* driver-side RC with a grounded termination
+R1 in a 200
+Ca a 0 100f
+R2 a b 300
+Cb b 0 150f
+Rterm b 0 20k
+* inductive hop with mutual coupling to a victim loop
+L1 b c 2n
+Cc c 0 120f
+Lv v1 v2 2n
+Rv1 v1 0 75
+Rv2 v2 0 75
+Cv v2 0 80f
+K1 L1 Lv 0.3
+* capacitive coupling to a floating island
+Cf1 c f 40f
+Cf2 f 0 160f
+* a sensing VCVS re-driving a side branch
+E1 s 0 c 0 0.5
+Rs s sl 1k
+Cs sl 0 60f
+.ic V(a)=0.5
+.end
+"""
+
+
+class TestKitchenSink:
+    """One deck exercising every element type, the .ic directive, a
+    floating island, magnetic coupling, and a controlled source — pushed
+    through parse → validate → AWE → transient agreement."""
+
+    @pytest.fixture(scope="class")
+    def deck(self):
+        return parse_netlist(EVERYTHING_DECK)
+
+    def test_parses_and_validates(self, deck):
+        from repro.circuit.validation import validate_for_analysis
+
+        validate_for_analysis(deck.circuit)
+        assert len(deck.circuit.mutual_inductances) == 1
+        assert deck.circuit["Ca"].initial_voltage == 0.5
+
+    def test_floating_island_detected(self, deck):
+        system = MnaSystem(deck.circuit)
+        assert len(system.floating_groups) == 1
+
+    def test_poles_all_stable(self, deck):
+        poles = circuit_poles(MnaSystem(deck.circuit)).poles
+        assert np.all(poles.real < 1.0)  # the island's zero mode allowed
+        assert np.all(poles.real[np.abs(poles) > 1e3] < 0)
+
+    @pytest.mark.parametrize("node", ["c", "f", "sl", "v2"])
+    def test_awe_matches_transient_everywhere(self, deck, node):
+        reference = simulate(deck.circuit, deck.stimuli, 1.2e-8,
+                             refine_tolerance=5e-4).voltage(node)
+        analyzer = AweAnalyzer(deck.circuit, deck.stimuli, max_order=10)
+        response = analyzer.response(node, error_target=0.02)
+        candidate = response.waveform.to_waveform(reference.times)
+        scale = max(np.abs(reference.values).max(), 1e-3)
+        assert np.abs(candidate.values - reference.values).max() < 0.1 * scale
+
+    def test_island_final_value_by_charge_conservation(self, deck):
+        analyzer = AweAnalyzer(deck.circuit, deck.stimuli, max_order=10)
+        response = analyzer.response("f", error_target=0.02)
+        reference = simulate(deck.circuit, deck.stimuli, 2e-8).voltage("f")
+        assert response.waveform.final_value() == pytest.approx(
+            reference.values[-1], rel=1e-2
+        )
+
+
+class TestExactVsTransientCrossCheck:
+    def test_modal_and_timestepping_agree(self):
+        # The two independent reference implementations must agree.
+        circuit = rc_mesh(2, 3)
+        system = MnaSystem(circuit)
+        from repro.analysis.dcop import (
+            dc_operating_point,
+            initial_operating_point,
+            resolve_initial_storage_state,
+        )
+
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(circuit, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0})
+        modal = exact_homogeneous_response(system, x0 - x_final)
+        result = simulate(circuit, {"Vin": Step(0, 5)}, 2e-9)
+        node = "n1_2"
+        row = system.index.node(node)
+        sim = result.voltage(node)
+        exact = x_final[row] + modal.evaluate(row, sim.times)
+        assert np.abs(sim.values - exact).max() < 2e-3 * 5

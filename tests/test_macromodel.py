@@ -1,0 +1,91 @@
+"""Tests for Foster synthesis of driving-point admittances."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem
+from repro.core.macromodel import synthesize_rc_load
+from repro.errors import ApproximationError
+from repro.papercircuits import fig9_grounded_resistor, random_rc_tree, rc_ladder
+from repro.timing import driving_point_moments
+
+
+def exact_admittance(system, source, omegas):
+    row = system.index.current(source)
+    values = []
+    for omega in omegas:
+        x = np.linalg.solve(system.G + 1j * omega * system.C, system.B[:, 0])
+        values.append(-x[row])
+    return np.array(values)
+
+
+class TestSynthesis:
+    def test_single_rc_is_recovered_exactly(self, single_rc):
+        system = MnaSystem(single_rc)
+        net = synthesize_rc_load(system, "Vin", 1)
+        assert net.order == 1
+        assert net.y0 == 0.0
+        branch = net.branches[0]
+        assert branch.resistance == pytest.approx(1e3, rel=1e-9)
+        assert branch.capacitance == pytest.approx(1e-12, rel=1e-9)
+
+    def test_total_capacitance_preserved(self):
+        circuit = rc_ladder(20, resistance=200.0, capacitance=100e-15)
+        net = synthesize_rc_load(MnaSystem(circuit, sparse=False), "Vin", 3)
+        assert net.total_capacitance == pytest.approx(2e-12, rel=1e-9)
+
+    def test_moments_roundtrip_through_synthesised_circuit(self):
+        circuit = rc_ladder(12)
+        system = MnaSystem(circuit)
+        original = driving_point_moments(system, "Vin", 7)
+        net = synthesize_rc_load(system, "Vin", 3)
+        clone = MnaSystem(net.as_circuit())
+        reproduced = driving_point_moments(clone, "VF_probe", 7)
+        np.testing.assert_allclose(reproduced[1:], original[1:], rtol=1e-8)
+
+    def test_admittance_accuracy_over_frequency(self):
+        circuit = rc_ladder(20, resistance=200.0, capacitance=100e-15)
+        system = MnaSystem(circuit, sparse=False)
+        net = synthesize_rc_load(system, "Vin", 3)
+        omegas = np.logspace(6, 9.5, 30)
+        exact = exact_admittance(system, "Vin", omegas)
+        model = net.admittance(1j * omegas)
+        assert (np.abs(model - exact) / np.abs(exact)).max() < 0.01
+
+    def test_grounded_resistor_dc_conductance(self):
+        net = synthesize_rc_load(MnaSystem(fig9_grounded_resistor()), "Vin", 2)
+        assert net.y0 == pytest.approx(1.0 / 7.0, rel=1e-9)
+        circuit = net.as_circuit()
+        assert any(e.name == "RF0" for e in circuit)
+
+    def test_branches_are_passive(self):
+        for seed in (1, 4, 9):
+            circuit = random_rc_tree(10, seed=seed)
+            net = synthesize_rc_load(MnaSystem(circuit), "Vin", 2)
+            for branch in net.branches:
+                assert branch.resistance > 0 and branch.capacitance > 0
+                assert branch.pole < 0
+
+    def test_synthesised_circuit_poles_match_fit(self):
+        circuit = rc_ladder(8)
+        system = MnaSystem(circuit)
+        net = synthesize_rc_load(system, "Vin", 2)
+        from repro import circuit_poles
+
+        clone_poles = np.sort(circuit_poles(MnaSystem(net.as_circuit())).poles.real)
+        fit_poles = np.sort([b.pole for b in net.branches])
+        np.testing.assert_allclose(clone_poles, fit_poles, rtol=1e-9)
+
+    def test_overorder_rejected_cleanly(self, single_rc):
+        system = MnaSystem(single_rc)
+        with pytest.raises(Exception):
+            synthesize_rc_load(system, "Vin", 3)
+
+    def test_deck_exportable(self):
+        from repro.circuit.writer import write_netlist
+        from repro import parse_netlist
+
+        net = synthesize_rc_load(MnaSystem(rc_ladder(10)), "Vin", 2)
+        deck = write_netlist(net.as_circuit())
+        restored = parse_netlist(deck)
+        assert len(restored.circuit.capacitors) == 2

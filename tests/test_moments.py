@@ -1,0 +1,137 @@
+"""Tests for the moment engine (paper eqs. 33–34) and particular solutions."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.core.moments import homogeneous_moments, particular_solution
+from repro.errors import AnalysisError
+
+
+def homogeneous_setup(circuit, v_step):
+    """x(0⁺) and steady state for a 0→v step with equilibrium ICs."""
+    system = MnaSystem(circuit)
+    names = list(system.index.source_names)
+    state = resolve_initial_storage_state(system, {n: 0.0 for n in names})
+    x0 = initial_operating_point(circuit, system, state, {n: v_step for n in names})
+    x_final = dc_operating_point(system, {n: v_step for n in names})
+    return system, x0 - x_final
+
+
+class TestHomogeneousMoments:
+    def test_single_rc_analytic(self, single_rc):
+        # y(t) = −5 e^{−t/τ}: m_k = −5 (−1)^k τ^{k+1}.
+        system, y0 = homogeneous_setup(single_rc, 5.0)
+        moments = homogeneous_moments(system, y0, 4)
+        tau = 1e-9
+        row = system.index.node("1")
+        sequence = moments.sequence_for(row)
+        expected = [-5.0] + [-5.0 * (-1) ** k * tau ** (k + 1) for k in range(4)]
+        np.testing.assert_allclose(sequence, expected, rtol=1e-12)
+
+    def test_m0_is_negative_elmore_times_swing(self, rc_ladder3):
+        # m₀ = ∫y dt = −v_ss·T_D for an RC tree step.
+        system, y0 = homogeneous_setup(rc_ladder3, 5.0)
+        moments = homogeneous_moments(system, y0, 1)
+        row = system.index.node("3")
+        elmore = 1e3 * 3e-12 + 1e3 * 2e-12 + 1e3 * 1e-12
+        assert moments.sequence_for(row)[1] == pytest.approx(-5.0 * elmore)
+
+    def test_moments_match_modal_expansion(self, series_rlc):
+        # m_k = −Σ residues/p^{k+1} from the exact eigendecomposition.
+        from repro.analysis.poles import exact_homogeneous_response
+
+        system, y0 = homogeneous_setup(series_rlc, 5.0)
+        moments = homogeneous_moments(system, y0, 5)
+        response = exact_homogeneous_response(system, y0)
+        row = system.index.node("b")
+        poles, residues = response.component_residues(row)
+        for k in range(5):
+            expected = -np.sum(residues / poles ** (k + 1))
+            assert abs(expected.imag) < 1e-9 * abs(expected.real) + 1e-30
+            assert moments.sequence_for(row)[k + 1] == pytest.approx(
+                expected.real, rel=1e-9
+            )
+
+    def test_extended_is_incremental(self, rc_ladder3):
+        system, y0 = homogeneous_setup(rc_ladder3, 5.0)
+        base = homogeneous_moments(system, y0, 2)
+        extended = base.extended(system, 3)
+        assert extended.count == 5
+        full = homogeneous_moments(system, y0, 5)
+        row = system.index.node("2")
+        np.testing.assert_allclose(
+            extended.sequence_for(row), full.sequence_for(row), rtol=1e-14
+        )
+
+    def test_trapped_charge_rejected(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        bad = np.zeros(system.dimension)
+        bad[system.index.node("f")] = 1.0  # carries charge on the island
+        with pytest.raises(AnalysisError, match="trapped charge"):
+            homogeneous_moments(system, bad, 2)
+
+    def test_floating_moments_have_zero_group_charge(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(floating_node_circuit, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0},
+                                     system.group_charge(x0))
+        moments = homogeneous_moments(system, x0 - x_final, 3)
+        for m in moments.vectors:
+            assert abs(system.group_charge(m)[0]) < 1e-24
+
+
+class TestParticularSolution:
+    def test_constant_input(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        particular = particular_solution(system, np.array([5.0]), np.array([0.0]))
+        row = system.index.node("3")
+        assert particular.c0[row] == pytest.approx(5.0)
+        assert particular.c1[row] == pytest.approx(0.0)
+
+    def test_ramp_follows_with_elmore_lag(self, rc_ladder3):
+        # For a unit-slope ramp the particular solution at node n is
+        # t − T_D(n): the Elmore delay appears as the tracking lag.
+        system = MnaSystem(rc_ladder3)
+        particular = particular_solution(system, np.array([0.0]), np.array([1.0]))
+        row = system.index.node("3")
+        elmore = 1e3 * 3e-12 + 1e3 * 2e-12 + 1e3 * 1e-12
+        assert particular.c1[row] == pytest.approx(1.0)
+        assert particular.c0[row] == pytest.approx(-elmore)
+
+    def test_at_and_row_helpers(self, single_rc):
+        system = MnaSystem(single_rc)
+        particular = particular_solution(system, np.array([2.0]), np.array([1.0]))
+        row = system.index.node("1")
+        offset, slope = particular.row(row)
+        assert particular.at(3.0)[row] == pytest.approx(offset + 3.0 * slope)
+
+    def test_ramp_into_floating_group_rejected(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0", 1.0)
+        ckt.add_resistor("R", "a", "0", 1.0)
+        ckt.add_capacitor("Cf", "f", "0", 1e-12)
+        ckt.add_current_source("I1", "0", "f", 1.0)
+        system = MnaSystem(ckt)
+        with pytest.raises(AnalysisError, match="floating"):
+            particular_solution(system, np.zeros(2), np.array([0.0, 1.0]))
+
+    def test_constant_current_into_floating_group_ramps_charge(self):
+        # A constant current source charging an isolated cap: the
+        # particular solution must ramp at I/C.
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0", 1.0)
+        ckt.add_resistor("R", "a", "0", 1.0)
+        ckt.add_capacitor("Cf", "f", "0", 1e-12)
+        ckt.add_current_source("I1", "0", "f", 1.0)
+        system = MnaSystem(ckt)
+        u0 = system.source_vector({"I1": 1e-3})
+        particular = particular_solution(system, u0, np.zeros(2))
+        row = system.index.node("f")
+        assert particular.c1[row] == pytest.approx(1e-3 / 1e-12)

@@ -1,0 +1,141 @@
+"""Tests for mutual inductance (K elements): stamps, physics, parsing."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem, Step, circuit_poles, parse_netlist, simulate
+from repro.core.driver import AweAnalyzer
+from repro.errors import CircuitError
+from repro.waveform import l2_error
+
+
+def coupled_tanks(k=0.3, R=20.0, L=10e-9, C=1e-12):
+    """Two identical series-RLC branches sharing flux through k."""
+    ckt = Circuit("coupled tanks")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "a1", R)
+    ckt.add_inductor("L1", "a1", "b1", L)
+    ckt.add_capacitor("C1", "b1", "0", C)
+    ckt.add_resistor("R2", "b2", "0", R)      # the victim tank, grounded
+    ckt.add_inductor("L2", "a2", "b2", L)
+    ckt.add_resistor("Rg", "a2", "0", 1e6)    # DC reference for the victim
+    ckt.add_capacitor("C2", "a2", "0", C)
+    ckt.add_mutual_inductance("K12", "L1", "L2", k)
+    return ckt
+
+
+class TestConstruction:
+    def test_coupling_range_enforced(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0")
+        ckt.add_inductor("L1", "a", "b", 1e-9)
+        ckt.add_inductor("L2", "b", "0", 1e-9)
+        with pytest.raises(CircuitError, match="passive"):
+            ckt.add_mutual_inductance("K1", "L1", "L2", 1.0)
+
+    def test_references_must_be_inductors(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0")
+        ckt.add_resistor("R1", "a", "b", 1.0)
+        ckt.add_inductor("L1", "b", "0", 1e-9)
+        with pytest.raises(CircuitError, match="not an inductor"):
+            ckt.add_mutual_inductance("K1", "L1", "R1", 0.5)
+
+    def test_self_coupling_rejected(self):
+        from repro.circuit.elements import MutualInductance
+
+        with pytest.raises(CircuitError):
+            MutualInductance("K1", "L1", "L1", 0.5)
+
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0")
+        ckt.add_inductor("L1", "a", "b", 1e-9)
+        ckt.add_inductor("L2", "b", "0", 1e-9)
+        ckt.add_mutual_inductance("K1", "L1", "L2", 0.5)
+        with pytest.raises(CircuitError, match="duplicate"):
+            ckt.add_mutual_inductance("K1", "L1", "L2", 0.2)
+
+    def test_copy_preserves_couplings(self):
+        ckt = coupled_tanks()
+        assert len(ckt.copy().mutual_inductances) == 1
+
+    def test_mutual_value(self):
+        from repro.circuit.elements import MutualInductance
+
+        k = MutualInductance("K1", "L1", "L2", 0.5)
+        assert k.mutual(4e-9, 9e-9) == pytest.approx(3e-9)
+
+
+class TestStamp:
+    def test_symmetric_offdiagonal(self):
+        ckt = coupled_tanks(k=0.4)
+        system = MnaSystem(ckt)
+        j1, j2 = system.index.current("L1"), system.index.current("L2")
+        assert system.C[j1, j2] == pytest.approx(-0.4 * 10e-9)
+        assert system.C[j1, j2] == system.C[j2, j1]
+
+
+class TestPhysics:
+    def test_split_modes_of_symmetric_lc_pair(self):
+        # Two identical LC tanks driven symmetrically: modes at
+        # ω± = 1/sqrt((1 ± k)·L·C).
+        k, L, C = 0.25, 10e-9, 1e-12
+        ckt = Circuit("symmetric pair")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("Rs", "in", "m", 1e-3)
+        ckt.add_inductor("L1", "m", "o1", L)
+        ckt.add_capacitor("C1", "o1", "0", C)
+        ckt.add_inductor("L2", "m", "o2", L)
+        ckt.add_capacitor("C2", "o2", "0", C)
+        ckt.add_mutual_inductance("K12", "L1", "L2", k)
+        poles = circuit_poles(MnaSystem(ckt)).poles
+        frequencies = np.unique(np.round(np.abs(poles.imag), 0))
+        frequencies = frequencies[frequencies > 0]
+        expected = sorted(
+            [1.0 / np.sqrt((1 + k) * L * C), 1.0 / np.sqrt((1 - k) * L * C)]
+        )
+        np.testing.assert_allclose(sorted(frequencies)[:2], expected, rtol=1e-3)
+
+    def test_zero_coupling_decouples(self):
+        with_k = coupled_tanks(k=1e-12)
+        without = coupled_tanks(k=1e-12)
+        without._couplings.clear()
+        def canonical(poles):
+            return sorted(poles, key=lambda p: (round(p.real, 3), round(p.imag, 3)))
+
+        p1 = canonical(circuit_poles(MnaSystem(with_k)).poles)
+        p2 = canonical(circuit_poles(MnaSystem(without)).poles)
+        np.testing.assert_allclose(p1, p2, rtol=1e-6)
+
+    def test_victim_sees_induced_voltage(self):
+        ckt = coupled_tanks(k=0.4)
+        result = simulate(ckt, {"Vin": Step(0, 5)}, 2e-8, refine_tolerance=5e-4)
+        victim = result.voltage("b2")
+        assert np.abs(victim.values).max() > 0.05  # real magnetic crosstalk
+        assert abs(victim.values[-1]) < 0.02       # and it dies back down
+
+    def test_awe_matches_transient_with_coupling(self):
+        ckt = coupled_tanks(k=0.4)
+        stimuli = {"Vin": Step(0, 5)}
+        reference = simulate(ckt, stimuli, 2e-8, refine_tolerance=5e-4).voltage("b1")
+        response = AweAnalyzer(ckt, stimuli, max_order=8).response("b1", error_target=0.02)
+        candidate = response.waveform.to_waveform(reference.times)
+        swing = np.abs(reference.values).max()
+        assert np.abs(candidate.values - reference.values).max() < 0.05 * swing
+
+
+class TestParser:
+    def test_k_card(self):
+        deck = parse_netlist(
+            "V1 in 0 5\nL1 in a 10n\nC1 a 0 1p\nL2 b 0 10n\nR2 b 0 50\n"
+            "K12 L1 L2 0.3\n",
+            title_line=False,
+        )
+        couplings = deck.circuit.mutual_inductances
+        assert len(couplings) == 1
+        assert couplings[0].coupling == pytest.approx(0.3)
+
+    def test_k_card_before_inductor_rejected(self):
+        with pytest.raises(Exception):
+            parse_netlist("K12 L1 L2 0.3\nL1 a 0 1n\nL2 b 0 1n\n", title_line=False)

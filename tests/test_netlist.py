@@ -1,0 +1,121 @@
+"""Tests for the Circuit container."""
+
+import pytest
+
+from repro import Circuit
+from repro.circuit.elements import Capacitor, Inductor, Resistor
+from repro.errors import CircuitError
+
+
+@pytest.fixture
+def simple() -> Circuit:
+    ckt = Circuit("t")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", 1e3)
+    ckt.add_capacitor("C1", "1", "0", 1e-12)
+    ckt.add_inductor("L1", "1", "2", 1e-9)
+    return ckt
+
+
+class TestContainer:
+    def test_len_and_iteration(self, simple):
+        assert len(simple) == 4
+        assert [e.name for e in simple] == ["Vin", "R1", "C1", "L1"]
+
+    def test_contains_and_getitem(self, simple):
+        assert "R1" in simple
+        assert simple["R1"].resistance == 1e3
+
+    def test_getitem_unknown(self, simple):
+        with pytest.raises(KeyError):
+            simple["Rx"]
+
+    def test_duplicate_name_rejected(self, simple):
+        with pytest.raises(CircuitError):
+            simple.add_resistor("R1", "a", "b", 1.0)
+
+    def test_repr_mentions_counts(self, simple):
+        assert "4 elements" in repr(simple)
+
+
+class TestNodes:
+    def test_ground_not_indexed(self, simple):
+        assert "0" not in simple.nodes
+
+    def test_insertion_order(self, simple):
+        assert simple.nodes == ["in", "1", "2"]
+
+    def test_node_index_stable(self, simple):
+        assert simple.node_index("in") == 0
+        assert simple.node_index("2") == 2
+
+    def test_node_index_ground_rejected(self, simple):
+        with pytest.raises(CircuitError):
+            simple.node_index("0")
+
+    def test_unknown_node(self, simple):
+        with pytest.raises(CircuitError):
+            simple.node_index("zz")
+
+    def test_has_node(self, simple):
+        assert simple.has_node("gnd")
+        assert simple.has_node(1)
+        assert not simple.has_node("nope")
+
+    def test_control_nodes_registered(self):
+        ckt = Circuit()
+        ckt.add_vccs("G1", "a", "0", "c1", "c2", 1e-3)
+        assert set(ckt.nodes) == {"a", "c1", "c2"}
+
+
+class TestTypedViews:
+    def test_views(self, simple):
+        assert [r.name for r in simple.resistors] == ["R1"]
+        assert [c.name for c in simple.capacitors] == ["C1"]
+        assert [l.name for l in simple.inductors] == ["L1"]
+        assert [v.name for v in simple.voltage_sources] == ["Vin"]
+
+    def test_state_count(self, simple):
+        assert simple.state_count == 2
+
+    def test_current_variable_elements(self, simple):
+        assert [e.name for e in simple.current_variable_elements()] == ["Vin", "L1"]
+
+
+class TestMutation:
+    def test_set_initial_voltage(self, simple):
+        simple.set_initial_voltage("C1", 2.0)
+        assert simple["C1"].initial_voltage == 2.0
+
+    def test_set_initial_voltage_wrong_type(self, simple):
+        with pytest.raises(CircuitError):
+            simple.set_initial_voltage("R1", 2.0)
+
+    def test_set_initial_current(self, simple):
+        simple.set_initial_current("L1", 1e-3)
+        assert simple["L1"].initial_current == 1e-3
+
+    def test_replace_rejects_rewiring(self, simple):
+        with pytest.raises(CircuitError):
+            simple.replace(Resistor("R1", "in", "2", 5.0))
+
+    def test_replace_unknown(self, simple):
+        with pytest.raises(CircuitError):
+            simple.replace(Resistor("Rz", "a", "b", 5.0))
+
+    def test_copy_is_independent(self, simple):
+        dup = simple.copy("copy")
+        dup.set_initial_voltage("C1", 3.0)
+        assert simple["C1"].initial_voltage is None
+        assert dup.title == "copy"
+        assert len(dup) == len(simple)
+
+    def test_has_initial_conditions(self, simple):
+        assert not simple.has_initial_conditions()
+        simple.set_initial_voltage("C1", 1.0)
+        assert simple.has_initial_conditions()
+
+    def test_extend(self):
+        ckt = Circuit()
+        ckt.extend([Resistor("R1", "a", "b", 1.0), Capacitor("C1", "b", "0", 1e-12)])
+        assert len(ckt) == 2

@@ -1,0 +1,142 @@
+"""Tests for Hankel moment matching and pole extraction (paper eqs. 24–25)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pade import (
+    characteristic_polynomial,
+    choose_scale,
+    hankel_sequence,
+    match_poles,
+    poles_from_characteristic,
+    scale_moments,
+)
+from repro.errors import MomentMatrixError
+
+
+def moments_of(poles, residues, count):
+    """Physical moment sequence [m₋₁, m₀, …] of Σ kᵢ e^{pᵢ t}."""
+    poles = np.asarray(poles, dtype=complex)
+    residues = np.asarray(residues, dtype=complex)
+    sequence = [np.sum(residues).real]
+    for k in range(count):
+        sequence.append((-np.sum(residues / poles ** (k + 1))).real)
+    return np.array(sequence)
+
+
+class TestExactRecovery:
+    def test_single_pole(self):
+        m = moments_of([-2.0e9], [3.0], 1)
+        result = match_poles(m, 1)
+        assert result.poles[0] == pytest.approx(-2.0e9)
+
+    def test_two_real_poles(self):
+        m = moments_of([-1e9, -7e9], [2.0, -1.0], 3)
+        result = match_poles(m, 2)
+        np.testing.assert_allclose(
+            np.sort(result.poles.real), [-7e9, -1e9], rtol=1e-8
+        )
+
+    def test_complex_pair(self):
+        poles = [-1e9 + 5e9j, -1e9 - 5e9j]
+        m = moments_of(poles, [1 + 2j, 1 - 2j], 3)
+        result = match_poles(m, 2)
+        assert sorted(result.poles.imag) == pytest.approx([-5e9, 5e9], rel=1e-8)
+
+    def test_four_poles_mixed(self):
+        poles = [-1e9, -3e9 + 4e9j, -3e9 - 4e9j, -2e10]
+        residues = [5.0, 1 - 1j, 1 + 1j, -0.5]
+        m = moments_of(poles, residues, 7)
+        result = match_poles(m, 4)
+        np.testing.assert_allclose(
+            np.sort_complex(result.poles), np.sort_complex(np.array(poles)), rtol=1e-6
+        )
+
+    def test_dominant_first_ordering(self):
+        m = moments_of([-1e9, -7e9], [2.0, -1.0], 3)
+        poles = match_poles(m, 2).poles
+        assert abs(poles[0]) < abs(poles[1])
+
+    def test_reduction_finds_dominant(self):
+        # Fitting order 1 to a 2-pole response lands near the dominant pole
+        # (pulled somewhat toward the fast pole by its residue: the q = 1
+        # pole is Σk / Σ(k/|p|), an area-preserving average).
+        m = moments_of([-1e9, -50e9], [4.0, 1.0], 3)
+        result = match_poles(m[:2], 1)
+        assert result.poles[0].real == pytest.approx(-1.244e9, rel=1e-3)
+
+    def test_stability_flag(self):
+        stable = match_poles(moments_of([-1e9], [1.0], 1), 1)
+        assert stable.is_stable
+
+
+class TestScaling:
+    def test_choose_scale_matches_eq47(self):
+        m = np.array([5.0, -5e-9, 5e-18])
+        assert choose_scale(m) == pytest.approx(1e9)
+
+    def test_choose_scale_skips_zeros(self):
+        m = np.array([0.0, 2e-9, -4e-18])
+        assert choose_scale(m) == pytest.approx(0.5e9)
+
+    def test_choose_scale_degenerate(self):
+        assert choose_scale(np.array([0.0, 0.0, 0.0])) == 1.0
+
+    def test_scale_moments_formula(self):
+        m = np.array([1.0, 2.0, 3.0])
+        scaled = scale_moments(m, 10.0)
+        np.testing.assert_allclose(scaled, [1.0, 20.0, 300.0])
+
+    def test_scaling_invariance_of_poles(self):
+        # On O(1)-scale poles (where the unscaled Hankel is healthy) the
+        # γ-scaled and unscaled solves must agree.
+        m = moments_of([-1.0, -4.0], [1.0, 2.0], 3)
+        with_scaling = match_poles(m, 2, use_scaling=True)
+        without = match_poles(m, 2, use_scaling=False)
+        np.testing.assert_allclose(
+            np.sort(with_scaling.poles.real),
+            np.sort(without.poles.real),
+            rtol=1e-6,
+        )
+
+    def test_scaling_rescues_high_order_nanosecond_moments(self):
+        # Unscaled moments of a ns circuit span ~70 decades by order 4;
+        # the Hankel determinant underflows without γ-scaling.
+        poles = [-1e9, -3e9, -9e9, -3e10]
+        m = moments_of(poles, [4.0, 1.0, 0.5, 0.2], 7)
+        scaled = match_poles(m, 4, use_scaling=True)
+        np.testing.assert_allclose(
+            np.sort(scaled.poles.real), np.sort(poles), rtol=1e-5
+        )
+        with pytest.raises(MomentMatrixError):
+            match_poles(m, 4, use_scaling=False)
+
+
+class TestFailureModes:
+    def test_too_few_moments(self):
+        with pytest.raises(MomentMatrixError, match="needs"):
+            match_poles(np.array([1.0, 2.0]), 2)
+
+    def test_singular_when_overspecified(self):
+        # A pure 1-pole sequence cannot support a 2-pole match.
+        m = moments_of([-1e9], [5.0], 3)
+        with pytest.raises(MomentMatrixError):
+            match_poles(m, 2)
+
+    def test_characteristic_polynomial_direct(self):
+        # Single pole at −2: uniform sequence μ = [−k, m0, …].
+        m = moments_of([-2.0], [3.0], 2)
+        sequence = hankel_sequence(scale_moments(m, 1.0))
+        a, condition = characteristic_polynomial(sequence, 1)
+        # a0 + z = 0 → z = −a0 = −1/p = 0.5.
+        assert a[0] == pytest.approx(0.5)
+        assert condition >= 1.0
+
+    def test_root_at_zero_rejected(self):
+        with pytest.raises(MomentMatrixError):
+            poles_from_characteristic(np.array([0.0, 1.0]))
+
+    def test_condition_number_reported(self):
+        m = moments_of([-1e9, -2e9], [1.0, 1.0], 3)
+        result = match_poles(m, 2)
+        assert np.isfinite(result.condition_number)

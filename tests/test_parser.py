@@ -1,0 +1,172 @@
+"""Tests for the SPICE-style netlist parser."""
+
+import pytest
+
+from repro.analysis.sources import DC, PWL, Pulse, Step
+from repro.circuit.parser import parse_netlist
+from repro.errors import NetlistParseError
+
+DECK = """\
+* simple RC tree
+Vin in 0 PWL(0 0 1n 5)
+R1 in 1 10k
+R2 1 2 5k
+C1 1 0 1p
+C2 2 0 2p IC=2.5
+.end
+"""
+
+
+class TestBasicParsing:
+    def test_elements_parsed(self):
+        deck = parse_netlist(DECK)
+        assert len(deck.circuit) == 5
+        assert deck.circuit["R1"].resistance == 10e3
+        assert deck.circuit["C2"].capacitance == 2e-12
+
+    def test_ic_extraction(self):
+        deck = parse_netlist(DECK)
+        assert deck.circuit["C2"].initial_voltage == 2.5
+        assert deck.circuit["C1"].initial_voltage is None
+
+    def test_pwl_stimulus(self):
+        deck = parse_netlist(DECK)
+        assert isinstance(deck.stimuli["Vin"], PWL)
+
+    def test_comment_lines_skipped(self):
+        deck = parse_netlist("* nothing\nR1 a 0 1k\n")
+        assert len(deck.circuit) == 1
+
+    def test_end_stops_parsing(self):
+        deck = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 1k\n", title_line=False)
+        assert "R2" not in deck.circuit
+
+    def test_title_line(self):
+        deck = parse_netlist("my circuit title\nR1 a 0 1k\n")
+        assert deck.title == "my circuit title"
+        assert deck.circuit.title == "my circuit title"
+
+    def test_first_line_card_without_title(self):
+        deck = parse_netlist("R1 a 0 1k\n")
+        assert "R1" in deck.circuit
+
+    def test_continuation_lines(self):
+        deck = parse_netlist("R1 a 0\n+ 1k\n", title_line=False)
+        assert deck.circuit["R1"].resistance == 1e3
+
+    def test_trailing_comment_stripped(self):
+        deck = parse_netlist("R1 a 0 1k ; load\nR2 b 0 2k $ other\n", title_line=False)
+        assert deck.circuit["R1"].resistance == 1e3
+        assert deck.circuit["R2"].resistance == 2e3
+
+    def test_unknown_directive_recorded(self):
+        deck = parse_netlist("R1 a 0 1k\n.tran 1n 10n\n", title_line=False)
+        assert deck.ignored_directives == (".tran 1n 10n",)
+
+    def test_title_directive(self):
+        deck = parse_netlist("R1 a 0 1k\n.title hello\n", title_line=False)
+        assert deck.title == "hello"
+
+
+class TestSources:
+    def test_dc_value(self):
+        deck = parse_netlist("V1 a 0 5\n", title_line=False)
+        assert isinstance(deck.stimuli["V1"], DC)
+        assert deck.stimuli["V1"].level == 5.0
+
+    def test_dc_keyword(self):
+        deck = parse_netlist("V1 a 0 DC 3.3\n", title_line=False)
+        assert deck.stimuli["V1"].level == 3.3
+
+    def test_step_function(self):
+        deck = parse_netlist("V1 a 0 STEP(0 5 1n)\n", title_line=False)
+        stim = deck.stimuli["V1"]
+        assert isinstance(stim, Step)
+        assert (stim.v0, stim.v1, stim.delay) == (0.0, 5.0, 1e-9)
+
+    def test_pulse_function(self):
+        deck = parse_netlist("I1 a 0 PULSE(0 1m 1n 0.1n 0.1n 5n)\n", title_line=False)
+        stim = deck.stimuli["I1"]
+        assert isinstance(stim, Pulse)
+        assert stim.v1 == 1e-3
+
+    def test_pwl_with_commas(self):
+        deck = parse_netlist("V1 a 0 PWL(0,0 1n,5)\n", title_line=False)
+        assert deck.stimuli["V1"].points == ((0.0, 0.0), (1e-9, 5.0))
+
+    def test_source_dc_matches_stimulus_initial(self):
+        deck = parse_netlist("V1 a 0 STEP(1 5)\n", title_line=False)
+        assert deck.circuit["V1"].dc == 1.0
+
+
+class TestIcDirective:
+    def test_sets_grounded_cap_ic(self):
+        deck = parse_netlist(
+            "R1 a 0 1k\nC1 a 0 1p\n.ic V(a)=2.5\n", title_line=False
+        )
+        assert deck.circuit["C1"].initial_voltage == 2.5
+
+    def test_multiple_assignments(self):
+        deck = parse_netlist(
+            "R1 a b 1k\nC1 a 0 1p\nC2 b 0 1p\n.ic V(a)=1 V(b)=2\n",
+            title_line=False,
+        )
+        assert deck.circuit["C1"].initial_voltage == 1.0
+        assert deck.circuit["C2"].initial_voltage == 2.0
+
+    def test_reversed_cap_orientation(self):
+        deck = parse_netlist(
+            "R1 a 0 1k\nC1 0 a 1p\n.ic V(a)=3\n", title_line=False
+        )
+        # v(a) = −v(C1) for a cap written ground-first.
+        assert deck.circuit["C1"].initial_voltage == -3.0
+
+    def test_no_cap_at_node_rejected(self):
+        with pytest.raises(NetlistParseError, match="no grounded capacitor"):
+            parse_netlist("R1 a 0 1k\n.ic V(a)=1\n", title_line=False)
+
+    def test_empty_directive_rejected(self):
+        with pytest.raises(NetlistParseError, match="assignments"):
+            parse_netlist("R1 a 0 1k\nC1 a 0 1p\n.ic\n", title_line=False)
+
+    def test_engineering_values(self):
+        deck = parse_netlist(
+            "R1 a 0 1k\nC1 a 0 1p\n.ic V(a)=500m\n", title_line=False
+        )
+        assert deck.circuit["C1"].initial_voltage == pytest.approx(0.5)
+
+
+class TestControlledSources:
+    def test_vccs(self):
+        deck = parse_netlist("G1 o 0 c1 c2 1m\nR1 c1 0 1k\nR2 o 0 1k\n", title_line=False)
+        assert deck.circuit["G1"].gain == 1e-3
+
+    def test_cccs(self):
+        deck = parse_netlist("V1 a 0 1\nF1 o 0 V1 2\nR1 o 0 1k\n", title_line=False)
+        assert deck.circuit["F1"].control_element == "V1"
+
+
+class TestErrors:
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(NetlistParseError, match="line 2"):
+            parse_netlist("R1 a 0 1k\nR2 b 0\n", title_line=False)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("V1 a 0 PWL(0 0\n", title_line=False)
+
+    def test_unknown_card(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("Q1 a b c model\n", title_line=False)
+
+    def test_continuation_without_previous(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("+ 1k\n", title_line=False)
+
+    def test_bad_pwl_arity(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("V1 a 0 PWL(0 0 1n)\n", title_line=False)
+
+    def test_duplicate_element_reports_line(self):
+        with pytest.raises(NetlistParseError, match="line 2"):
+            parse_netlist("R1 a 0 1k\nR1 a 0 2k\n", title_line=False)

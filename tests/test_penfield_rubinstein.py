@@ -1,0 +1,79 @@
+"""Tests for the Penfield–Rubinstein single-pole baseline and its bounds."""
+
+import numpy as np
+import pytest
+
+from repro import Step, simulate
+from repro.errors import AnalysisError
+from repro.papercircuits import fig4_rc_tree, random_rc_tree
+from repro.rctree import (
+    crossing_time_upper_bound,
+    elmore_delays,
+    penfield_rubinstein_model,
+)
+
+
+class TestModel:
+    def test_waveform_is_eq2(self):
+        model = penfield_rubinstein_model(fig4_rc_tree(), "4", 5.0)
+        t = np.linspace(0, 3e-3, 64)
+        np.testing.assert_allclose(
+            model.evaluate(t), 5.0 * (1 - np.exp(-t / model.elmore_delay))
+        )
+
+    def test_elmore_delay_carried(self):
+        model = penfield_rubinstein_model(fig4_rc_tree(), "4", 5.0)
+        assert model.elmore_delay == pytest.approx(0.7e-3)
+
+    def test_crossing_time(self):
+        model = penfield_rubinstein_model(fig4_rc_tree(), "4", 5.0)
+        assert model.crossing_time(2.5) == pytest.approx(0.7e-3 * np.log(2))
+
+    def test_crossing_outside_swing(self):
+        model = penfield_rubinstein_model(fig4_rc_tree(), "4", 5.0)
+        with pytest.raises(AnalysisError):
+            model.crossing_time(6.0)
+
+    def test_to_waveform(self):
+        model = penfield_rubinstein_model(fig4_rc_tree(), "4", 5.0)
+        w = model.to_waveform(np.linspace(0, 5e-3, 32))
+        assert w.values[-1] == pytest.approx(5.0, rel=1e-2)
+
+    def test_non_tree_node(self):
+        with pytest.raises(AnalysisError):
+            penfield_rubinstein_model(fig4_rc_tree(), "nope", 5.0)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("seed", [2, 11, 23])
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.9])
+    def test_bounds_contain_true_crossing(self, seed, threshold):
+        circuit = random_rc_tree(8, seed=seed)
+        leaves = [n for n in circuit.nodes if n != "in"]
+        node = leaves[-1]
+        model = penfield_rubinstein_model(circuit, node, 5.0)
+        lower, upper = model.crossing_bounds(threshold * 5.0)
+        result = simulate(circuit, {"Vin": Step(0, 5)}, 12 * model.t_max)
+        true_crossing = result.voltage(node).threshold_delay(threshold * 5.0)
+        assert lower <= true_crossing * (1 + 1e-6)
+        assert true_crossing <= upper * (1 + 1e-6)
+
+    def test_bounds_ordered(self):
+        model = penfield_rubinstein_model(fig4_rc_tree(), "4", 5.0)
+        lower, upper = model.crossing_bounds(2.5)
+        assert lower <= model.crossing_time(2.5) <= upper
+
+    def test_upper_bound_helper(self):
+        assert crossing_time_upper_bound(1e-9, 0.5) == pytest.approx(2e-9)
+        with pytest.raises(AnalysisError):
+            crossing_time_upper_bound(1e-9, 1.5)
+
+    def test_t_max_dominates_elmore(self):
+        # T_max sums full path resistance per cap, so T_max >= T_D always.
+        circuit = random_rc_tree(10, seed=5)
+        delays = elmore_delays(circuit)
+        for node in circuit.nodes:
+            if node == "in":
+                continue
+            model = penfield_rubinstein_model(circuit, node, 5.0)
+            assert model.t_max >= delays[node] * (1 - 1e-12)

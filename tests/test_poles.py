@@ -1,0 +1,117 @@
+"""Tests for exact pole extraction and the modal reference solution."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem, circuit_poles
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.analysis.poles import exact_homogeneous_response
+
+
+class TestCircuitPoles:
+    def test_single_rc(self, single_rc):
+        poles = circuit_poles(MnaSystem(single_rc)).poles
+        assert len(poles) == 1
+        assert poles[0] == pytest.approx(-1e9)
+
+    def test_ladder_pole_count(self, rc_ladder3):
+        assert circuit_poles(MnaSystem(rc_ladder3)).order == 3
+
+    def test_ladder_poles_match_analytic(self, rc_ladder3):
+        # Uniform 3-ladder eigenvalues: -(2 - 2cos((2k-1)π/7))/RC.
+        poles = np.sort(circuit_poles(MnaSystem(rc_ladder3)).poles.real)
+        rc = 1e3 * 1e-12
+        expected = np.sort(
+            [-(2 - 2 * np.cos((2 * k - 1) * np.pi / 7)) / rc for k in (1, 2, 3)]
+        )
+        np.testing.assert_allclose(poles, expected, rtol=1e-9)
+
+    def test_rlc_complex_pair(self, series_rlc):
+        poles = circuit_poles(MnaSystem(series_rlc)).poles
+        assert len(poles) == 2
+        assert poles[0] == pytest.approx(np.conj(poles[1]))
+        # Series RLC: Re = -R/2L, |p|² = 1/LC.
+        assert poles[0].real == pytest.approx(-10.0 / (2 * 10e-9))
+        assert abs(poles[0]) ** 2 == pytest.approx(1.0 / (10e-9 * 1e-12), rel=1e-9)
+
+    def test_pure_resistive_circuit_has_no_poles(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0", 1.0)
+        ckt.add_resistor("R", "a", "0", 1.0)
+        assert circuit_poles(MnaSystem(ckt)).order == 0
+
+    def test_pole_count_never_exceeds_state_count(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        decomposition = circuit_poles(system)
+        assert decomposition.order <= floating_node_circuit.state_count
+
+    def test_floating_node_has_zero_pole(self, floating_node_circuit):
+        poles = circuit_poles(MnaSystem(floating_node_circuit)).poles
+        # Trapped charge = a mode at exactly s = 0.
+        assert np.abs(poles).min() < 1e-3 * np.abs(poles).max()
+
+    def test_dominance_ordering(self, rc_ladder3):
+        poles = circuit_poles(MnaSystem(rc_ladder3)).sorted_by_dominance()
+        assert np.all(np.diff(np.abs(poles)) >= 0)
+
+    def test_all_poles_stable(self, series_rlc):
+        poles = circuit_poles(MnaSystem(series_rlc)).poles
+        assert np.all(poles.real < 0)
+
+
+class TestExactHomogeneousResponse:
+    def test_matches_analytic_rc_decay(self, single_rc):
+        system = MnaSystem(single_rc)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(single_rc, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0})
+        response = exact_homogeneous_response(system, x0 - x_final)
+        t = np.linspace(0, 5e-9, 100)
+        values = response.evaluate(system.index.node("1"), t)
+        np.testing.assert_allclose(values, -5.0 * np.exp(-t / 1e-9), atol=1e-9)
+
+    def test_initial_value_matches(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(rc_ladder3, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0})
+        y0 = x0 - x_final
+        response = exact_homogeneous_response(system, y0)
+        for node in ("1", "2", "3"):
+            row = system.index.node(node)
+            assert response.evaluate(row, np.array([0.0]))[0] == pytest.approx(y0[row])
+
+    def test_residual_small_for_consistent_state(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(rc_ladder3, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0})
+        response = exact_homogeneous_response(system, x0 - x_final)
+        assert response.residual < 1e-10
+
+    def test_oscillatory_response_is_real(self, series_rlc):
+        system = MnaSystem(series_rlc)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(series_rlc, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0})
+        response = exact_homogeneous_response(system, x0 - x_final)
+        values = response.evaluate(system.index.node("b"), np.linspace(0, 3e-9, 64))
+        assert values.dtype == np.float64
+        # Underdamped: must cross zero (ring above the final value).
+        assert values.max() > 0.0
+
+    def test_component_residues_reconstruct(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(rc_ladder3, system, state, {"Vin": 5.0})
+        x_final = dc_operating_point(system, {"Vin": 5.0})
+        response = exact_homogeneous_response(system, x0 - x_final)
+        row = system.index.node("3")
+        poles, residues = response.component_residues(row)
+        t = np.linspace(0, 1e-8, 50)
+        direct = sum(k * np.exp(p * t) for p, k in zip(poles, residues)).real
+        np.testing.assert_allclose(direct, response.evaluate(row, t), atol=1e-9)

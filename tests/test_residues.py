@@ -1,0 +1,121 @@
+"""Tests for residue solving, including the confluent (repeated-pole) case."""
+
+import numpy as np
+import pytest
+
+from repro.core.residues import cluster_poles, solve_residues
+from repro.errors import ApproximationError
+from tests.test_pade import moments_of
+
+
+def evaluate_terms(terms, t):
+    import math
+
+    t = np.asarray(t, dtype=float)
+    total = np.zeros(t.shape, dtype=complex)
+    for pole, power, residue in terms:
+        total += residue * t ** (power - 1) * np.exp(pole * t) / math.factorial(power - 1)
+    return total.real
+
+
+class TestClusterPoles:
+    def test_distinct_stay_separate(self):
+        clusters = cluster_poles(np.array([-1e9, -2e9]))
+        assert [m for _, m in clusters] == [1, 1]
+
+    def test_near_duplicates_merge(self):
+        clusters = cluster_poles(np.array([-1e9, -1e9 * (1 + 1e-12)]))
+        assert clusters[0][1] == 2
+
+    def test_conjugates_not_merged(self):
+        clusters = cluster_poles(np.array([-1e9 + 2e9j, -1e9 - 2e9j]))
+        assert len(clusters) == 2
+
+
+class TestSimpleResidues:
+    def test_recover_known_residues(self):
+        poles = np.array([-1e9, -5e9])
+        m = moments_of(poles, [3.0, -1.5], 1)
+        terms = solve_residues(poles, m)
+        residues = sorted(term[2].real for term in terms)
+        assert residues == pytest.approx([-1.5, 3.0])
+
+    def test_initial_value_matched(self):
+        poles = np.array([-1e9, -5e9])
+        m = moments_of(poles, [3.0, -1.5], 1)
+        terms = solve_residues(poles, m)
+        assert evaluate_terms(terms, np.array([0.0]))[0] == pytest.approx(m[0])
+
+    def test_complex_pair_residues_conjugate(self):
+        poles = np.array([-1e9 + 4e9j, -1e9 - 4e9j])
+        m = moments_of(poles, [1 + 2j, 1 - 2j], 1)
+        terms = solve_residues(poles, m)
+        k1, k2 = terms[0][2], terms[1][2]
+        assert k1 == pytest.approx(np.conj(k2))
+
+    def test_too_few_moments(self):
+        with pytest.raises(ApproximationError):
+            solve_residues(np.array([-1e9, -2e9]), np.array([1.0]))
+
+    def test_no_poles(self):
+        with pytest.raises(ApproximationError):
+            solve_residues(np.array([]), np.array([1.0]))
+
+
+class TestConfluentResidues:
+    def test_double_pole_fit(self):
+        # Target: (2 + 3t)e^{-t}: terms k₁e^{pt} + k₂·t e^{pt}.
+        p = -1.0
+        # Moments: m₋₁ = 2; m_k from 2/(s−p) expansion + 3/(s−p)².
+        def exact_moment(k):
+            return -(2.0 * p ** -(k + 1)) + 3.0 * (k + 1) * p ** -(k + 2)
+
+        m = np.array([2.0, exact_moment(0)])
+        terms = solve_residues(np.array([p, p * (1 + 1e-12)]), m)
+        powers = sorted(term[1] for term in terms)
+        assert powers == [1, 2]
+        t = np.linspace(0, 5, 50)
+        np.testing.assert_allclose(
+            evaluate_terms(terms, t), (2.0 + 3.0 * t) * np.exp(-t), rtol=1e-6, atol=1e-9
+        )
+
+    def test_confluent_moment_signs(self):
+        # Verify the generalised eq. 27/29 coefficients against numerical
+        # integration: m_k = (−1)^k/k! ∫ t^k y dt for y = t e^{pt}.
+        p = -2.0
+        terms = [(p, 2, 1.0)]
+        import math
+
+        t = np.linspace(0, 40, 400001)
+        y = evaluate_terms(terms, t)
+        from repro.core.residues import _moment_coefficient
+
+        for k in range(3):
+            numeric = (-1.0) ** k / math.factorial(k) * np.trapezoid(t**k * y, t)
+            analytic = _moment_coefficient(p, 2, k) * 1.0
+            assert numeric == pytest.approx(analytic.real, rel=1e-4)
+
+
+class TestSlopeConstraint:
+    def test_slope_matching_changes_initial_derivative(self):
+        poles = np.array([-1e9, -5e9])
+        m = moments_of(poles, [3.0, -1.5], 3)
+        free = solve_residues(poles, m)
+        constrained = solve_residues(poles, m, initial_slope=0.0)
+        dt = 1e-15
+
+        def slope(terms):
+            v = evaluate_terms(terms, np.array([0.0, dt]))
+            return (v[1] - v[0]) / dt
+
+        assert abs(slope(constrained)) < 1e-3 * abs(slope(free))
+
+    def test_slope_constraint_preserves_initial_value(self):
+        poles = np.array([-1e9, -5e9])
+        m = moments_of(poles, [3.0, -1.5], 3)
+        constrained = solve_residues(poles, m, initial_slope=0.0)
+        assert evaluate_terms(constrained, np.array([0.0]))[0] == pytest.approx(m[0])
+
+    def test_slope_needs_second_order(self):
+        with pytest.raises(ApproximationError, match="second-order"):
+            solve_residues(np.array([-1e9]), np.array([1.0, 2.0]), initial_slope=0.0)

@@ -1,0 +1,74 @@
+"""Tests for the clock H-tree generator and skew analysis."""
+
+import numpy as np
+import pytest
+
+from repro import Step, simulate
+from repro.circuit.topology import is_rc_tree
+from repro.errors import AnalysisError, CircuitError
+from repro.papercircuits import clock_h_tree
+from repro.timing import skew_report, tree_leaves
+
+
+class TestClockHTree:
+    def test_leaf_count(self):
+        for levels in (1, 2, 3):
+            circuit = clock_h_tree(levels)
+            assert len(tree_leaves(circuit)) == 2 ** levels
+
+    def test_is_rc_tree(self):
+        assert is_rc_tree(clock_h_tree(3))
+
+    def test_balanced_tree_is_symmetric(self):
+        circuit = clock_h_tree(3)
+        leaves = tree_leaves(circuit)
+        resistances = {circuit[f"R{leaf}"].resistance for leaf in leaves}
+        assert len(resistances) == 1
+
+    def test_imbalance_reproducible(self):
+        a = clock_h_tree(2, imbalance_seed=4, imbalance=0.2)
+        b = clock_h_tree(2, imbalance_seed=4, imbalance=0.2)
+        assert a["Rleaf0"].resistance == b["Rleaf0"].resistance
+
+    def test_needs_one_level(self):
+        with pytest.raises(CircuitError):
+            clock_h_tree(0)
+
+
+class TestSkewReport:
+    def test_balanced_tree_has_zero_skew(self):
+        circuit = clock_h_tree(3)
+        report = skew_report(circuit, {"Vclk": Step(0, 1)},
+                             tree_leaves(circuit), threshold=0.5)
+        assert report.skew < 1e-4 * max(report.delays.values())
+
+    def test_imbalanced_tree_has_skew(self):
+        circuit = clock_h_tree(3, imbalance_seed=9, imbalance=0.3)
+        report = skew_report(circuit, {"Vclk": Step(0, 1)},
+                             tree_leaves(circuit), threshold=0.5)
+        assert report.skew > 0.02 * max(report.delays.values())
+        early_node, early = report.earliest
+        late_node, late = report.latest
+        assert early < late
+        assert report.delays[early_node] == early
+
+    def test_matches_transient_per_leaf(self):
+        circuit = clock_h_tree(2, imbalance_seed=5, imbalance=0.25)
+        leaves = tree_leaves(circuit)
+        report = skew_report(circuit, {"Vclk": Step(0, 1)}, leaves, threshold=0.5)
+        horizon = 12 * max(report.delays.values())
+        result = simulate(circuit, {"Vclk": Step(0, 1)}, horizon)
+        for leaf in leaves:
+            true_delay = result.voltage(leaf).threshold_delay(0.5)
+            assert report.delays[leaf] == pytest.approx(true_delay, rel=5e-3)
+
+    def test_sorted_delays(self):
+        circuit = clock_h_tree(2, imbalance_seed=2, imbalance=0.2)
+        report = skew_report(circuit, {"Vclk": Step(0, 1)},
+                             tree_leaves(circuit), threshold=0.5)
+        values = [v for _, v in report.sorted_delays()]
+        assert values == sorted(values)
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(AnalysisError):
+            skew_report(clock_h_tree(1), {"Vclk": Step(0, 1)}, [], 0.5)

@@ -1,0 +1,134 @@
+"""Tests for stimulus waveforms and their ramp-event decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sources import (
+    DC,
+    PWL,
+    Pulse,
+    Ramp,
+    RampEvent,
+    Step,
+    merge_event_times,
+)
+from repro.errors import AnalysisError
+
+
+def reconstruct(stimulus, t):
+    """Rebuild the waveform from its event decomposition — must match
+    value() exactly; this is the invariant the AWE driver relies on."""
+    t = np.asarray(t, dtype=float)
+    total = np.full_like(t, stimulus.initial_value)
+    for event in stimulus.events():
+        active = t >= event.time
+        total = total + np.where(active, event.step, 0.0)
+        total = total + np.where(active, event.slope_delta * (t - event.time), 0.0)
+    return total
+
+
+STIMULI = [
+    DC(3.0),
+    Step(0.0, 5.0),
+    Step(1.0, -2.0, delay=2e-9),
+    Ramp(0.0, 5.0, rise_time=1e-9),
+    Ramp(5.0, 0.0, rise_time=2e-9, delay=1e-9),
+    Pulse(0.0, 5.0, delay=1e-9, rise=0.5e-9, width=3e-9, fall=0.5e-9),
+    Pulse(0.0, 1.0, delay=0.0, rise=0.0, width=1e-9, fall=0.0),
+    PWL([(0, 0), (1e-9, 5), (2e-9, 5), (3e-9, 1)]),
+    PWL([(0, 2)]),
+]
+
+
+@pytest.mark.parametrize("stimulus", STIMULI, ids=lambda s: type(s).__name__ + repr(s)[:25])
+def test_event_decomposition_reconstructs_waveform(stimulus):
+    t = np.linspace(0.0, 8e-9, 1601)
+    np.testing.assert_allclose(reconstruct(stimulus, t), stimulus.value(t),
+                               rtol=1e-12, atol=1e-12)
+
+
+class TestStep:
+    def test_values(self):
+        step = Step(0.0, 5.0, delay=1e-9)
+        assert step.value(0.5e-9) == 0.0
+        assert step.value(1e-9) == 5.0
+
+    def test_single_event(self):
+        assert Step(0.0, 5.0).events() == [RampEvent(0.0, step=5.0)]
+
+    def test_final_value(self):
+        assert Step(0.0, 5.0).final_value == 5.0
+
+
+class TestRamp:
+    def test_values_midpoint(self):
+        ramp = Ramp(0.0, 4.0, rise_time=2e-9)
+        assert ramp.value(1e-9) == pytest.approx(2.0)
+
+    def test_two_slope_events_cancel(self):
+        events = Ramp(0.0, 5.0, rise_time=1e-9).events()
+        assert len(events) == 2
+        assert events[0].slope_delta == pytest.approx(-events[1].slope_delta)
+
+    def test_rejects_zero_rise(self):
+        with pytest.raises(AnalysisError):
+            Ramp(0.0, 5.0, rise_time=0.0)
+
+    def test_final_value(self):
+        assert Ramp(1.0, 4.0, rise_time=1e-9).final_value == pytest.approx(4.0)
+
+
+class TestPulse:
+    def test_returns_to_baseline(self):
+        pulse = Pulse(0.0, 5.0, delay=0.0, rise=1e-10, width=1e-9, fall=1e-10)
+        assert pulse.value(np.asarray(5e-9)) == pytest.approx(0.0)
+        assert pulse.final_value == pytest.approx(0.0)
+
+    def test_plateau(self):
+        pulse = Pulse(0.0, 5.0, delay=0.0, rise=1e-10, width=1e-9, fall=1e-10)
+        assert pulse.value(np.asarray(5e-10)) == pytest.approx(5.0)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(AnalysisError):
+            Pulse(0.0, 5.0, rise=-1e-9)
+
+
+class TestPWL:
+    def test_holds_outside_range(self):
+        pwl = PWL([(1e-9, 1.0), (2e-9, 3.0)])
+        assert pwl.value(np.asarray(0.0)) == pytest.approx(1.0)
+        assert pwl.value(np.asarray(9e-9)) == pytest.approx(3.0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(AnalysisError):
+            PWL([(1e-9, 0.0), (0.5e-9, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            PWL([])
+
+    def test_coincident_points_make_step(self):
+        pwl = PWL([(0, 0), (1e-9, 0), (1e-9, 5), (2e-9, 5)])
+        events = pwl.events()
+        steps = [e for e in events if e.step != 0]
+        assert len(steps) == 1 and steps[0].step == 5.0
+
+    def test_forever_ramp_has_no_final_value(self):
+        class ForeverRamp(Ramp):
+            def events(self):
+                return [RampEvent(0.0, slope_delta=1.0)]
+
+        with pytest.raises(AnalysisError):
+            ForeverRamp(0, 1, 1e-9).final_value
+
+
+def test_merge_event_times():
+    stimuli = {
+        "a": Step(0, 1, delay=1e-9),
+        "b": Ramp(0, 1, rise_time=1e-9, delay=1e-9),
+    }
+    assert merge_event_times(stimuli) == [1e-9, 2e-9]
+
+
+def test_dc_has_no_events():
+    assert DC(5.0).events() == []

@@ -1,0 +1,150 @@
+"""Tests for the timing application layer: delay reports, stages, paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.timing import (
+    PathTimingAnalyzer,
+    Receiver,
+    Stage,
+    measure_delay,
+    slew_time,
+)
+from repro.waveform import Waveform
+
+
+def exp_rise(tau=1e-9, v=5.0):
+    t = np.linspace(0, 10e-9, 4001)
+    return Waveform(t, v * (1 - np.exp(-t / tau)), "v(out)")
+
+
+class TestMeasureDelay:
+    def test_delay_50(self):
+        report = measure_delay(exp_rise())
+        assert report.delay_50 == pytest.approx(1e-9 * np.log(2), rel=1e-3)
+
+    def test_threshold(self):
+        report = measure_delay(exp_rise(), threshold=4.0)
+        assert report.threshold_delay == pytest.approx(-1e-9 * np.log(0.2), rel=1e-3)
+
+    def test_slew(self):
+        report = measure_delay(exp_rise())
+        assert report.slew_10_90 == pytest.approx(1e-9 * np.log(9), rel=1e-3)
+        assert slew_time(exp_rise()) == report.slew_10_90
+
+    def test_monotone_flag(self):
+        assert measure_delay(exp_rise()).monotone
+
+    def test_v_final_override(self):
+        t = np.linspace(0, 3e-9, 601)  # crosses 50 % but far from settled
+        w = Waveform(t, 5.0 * (1 - np.exp(-t / 1e-9)))
+        report = measure_delay(w, v_final=5.0)
+        assert report.v_final == 5.0
+        assert report.delay_50 == pytest.approx(1e-9 * np.log(2), rel=1e-2)
+
+    def test_no_transition(self):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(AnalysisError):
+            measure_delay(Waveform(t, np.ones(10)))
+
+    def test_swing(self):
+        assert measure_delay(exp_rise()).swing == pytest.approx(5.0, rel=1e-3)
+
+
+def simple_net(ckt):
+    ckt.add_resistor("Rw", "drv", "s1", 500.0)
+    ckt.add_capacitor("Cw", "s1", "0", 20e-15)
+
+
+def branched_net(ckt):
+    ckt.add_resistor("Rw1", "drv", "s1", 300.0)
+    ckt.add_resistor("Rw2", "drv", "s2", 600.0)
+
+
+class TestStage:
+    def test_builds_circuit_with_loads(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("s1", 30e-15)])
+        circuit = stage.build_circuit()
+        assert "Cin_s1" in circuit
+        assert "Rdrv" in circuit
+
+    def test_missing_receiver_node(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("nowhere", 1e-15)])
+        with pytest.raises(AnalysisError, match="never connects"):
+            stage.build_circuit()
+
+    def test_no_receivers(self):
+        stage = Stage("g", 1e3, simple_net, [])
+        with pytest.raises(AnalysisError):
+            stage.build_circuit()
+
+    def test_evaluate_step_delay_matches_elmore_scale(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("s1", 30e-15)])
+        result = stage.evaluate()
+        # Elmore: 1k*(20f+30f) + 500*(30f)... plus 20f at s1's own node:
+        elmore = 1e3 * 50e-15 + 500 * 30e-15
+        delay = result.delay("s1")
+        assert 0.3 * elmore < delay < 2.0 * elmore
+
+    def test_slew_propagation_slows_delay(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("s1", 30e-15)])
+        fast = stage.evaluate(input_slew=0.0).delay("s1")
+        slow = stage.evaluate(input_slew=2e-9).delay("s1")
+        assert slow > fast
+
+    def test_falling_transition(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("s1", 30e-15)],
+                      rising=False)
+        result = stage.evaluate()
+        report = result.reports["s1"]
+        assert report.v_final == pytest.approx(0.0, abs=1e-6)
+        assert report.threshold_delay is not None
+
+    def test_multiple_receivers_worst_delay(self):
+        stage = Stage("g", 1e3, branched_net,
+                      [Receiver("s1", 30e-15), Receiver("s2", 30e-15)])
+        result = stage.evaluate()
+        assert result.worst_delay == result.delay("s2")  # larger wire R
+
+    def test_event_time_offsets_delay(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("s1", 30e-15)])
+        base = stage.evaluate().delay("s1")
+        offset = stage.evaluate(input_event_time=1e-9).delay("s1")
+        assert offset == pytest.approx(base + 1e-9, rel=1e-6)
+
+
+class TestPathAnalyzer:
+    def make_path(self):
+        s1 = Stage("g1", 1e3, simple_net, [Receiver("s1", 30e-15)])
+        s2 = Stage("g2", 2e3, simple_net, [Receiver("s1", 40e-15)])
+        return PathTimingAnalyzer([(s1, "s1"), (s2, "s1")])
+
+    def test_stage_times_accumulate(self):
+        timings = self.make_path().analyze()
+        assert timings[1].input_event_time == timings[0].output_event_time
+        assert timings[1].output_event_time > timings[1].input_event_time
+
+    def test_slew_propagates(self):
+        timings = self.make_path().analyze()
+        assert timings[1].input_slew == timings[0].output_slew
+        assert timings[0].output_slew > 0
+
+    def test_path_delay(self):
+        analyzer = self.make_path()
+        timings = analyzer.analyze()
+        assert analyzer.path_delay() == pytest.approx(timings[-1].output_event_time)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(AnalysisError):
+            PathTimingAnalyzer([])
+
+    def test_unknown_sink_rejected(self):
+        stage = Stage("g", 1e3, simple_net, [Receiver("s1", 1e-15)])
+        with pytest.raises(AnalysisError):
+            PathTimingAnalyzer([(stage, "sX")])
+
+    def test_start_time_offset(self):
+        analyzer = self.make_path()
+        base = analyzer.path_delay()
+        assert analyzer.path_delay(start_time=1e-9) == pytest.approx(base, rel=1e-3)

@@ -1,0 +1,213 @@
+"""Tests for transfer-function AWE (frequency-domain reduction)."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem, Step, circuit_poles, simulate
+from repro.core.transfer import (
+    exact_frequency_response,
+    reduce_transfer,
+    transfer_moments,
+)
+from repro.errors import ApproximationError
+from repro.papercircuits import fig25_rlc_ladder, rc_ladder
+
+
+class TestTransferMoments:
+    def test_single_rc_moments(self, single_rc):
+        system = MnaSystem(single_rc)
+        moments = transfer_moments(system, "Vin", "1", 4)
+        # H(s) = 1/(1+sτ): m_k = (−τ)^k.
+        tau = 1e-9
+        np.testing.assert_allclose(moments, [(-tau) ** k for k in range(4)],
+                                   rtol=1e-12)
+
+    def test_m0_is_dc_gain(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        moments = transfer_moments(system, "Vin", "3", 1)
+        assert moments[0] == pytest.approx(1.0)
+
+    def test_m1_is_negative_elmore(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        moments = transfer_moments(system, "Vin", "3", 2)
+        elmore = 1e3 * (3 + 2 + 1) * 1e-12
+        assert moments[1] == pytest.approx(-elmore)
+
+    def test_ground_rejected(self, single_rc):
+        system = MnaSystem(single_rc)
+        with pytest.raises(ApproximationError):
+            transfer_moments(system, "Vin", "0", 2)
+
+
+class TestReduceTransfer:
+    def test_full_order_recovers_exact_poles(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        model = reduce_transfer(system, "Vin", "3", 3)
+        exact = circuit_poles(system).poles
+        np.testing.assert_allclose(np.sort(model.poles.real),
+                                   np.sort(exact.real), rtol=1e-8)
+
+    def test_dc_gain_preserved_at_any_order(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        for order in (1, 2, 3):
+            model = reduce_transfer(system, "Vin", "3", order)
+            assert model.dc_gain == pytest.approx(1.0, rel=1e-9)
+
+    def test_frequency_response_accuracy_improves_with_order(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        omegas = np.logspace(7, 10.5, 60)
+        exact = exact_frequency_response(system, "Vin", "3", omegas)
+        errors = []
+        for order in (1, 2, 3):
+            model = reduce_transfer(system, "Vin", "3", order)
+            errors.append(np.abs(model.frequency_response(omegas) - exact).max())
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-9
+
+    def test_complex_pole_circuit(self):
+        circuit = fig25_rlc_ladder()
+        system = MnaSystem(circuit)
+        model = reduce_transfer(system, "Vin", "3", 6)
+        exact = circuit_poles(system).poles
+        np.testing.assert_allclose(
+            np.sort_complex(model.poles), np.sort_complex(exact), rtol=1e-6
+        )
+
+    def test_step_response_matches_time_domain(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        model = reduce_transfer(system, "Vin", "3", 3)
+        reference = simulate(rc_ladder3, {"Vin": Step(0, 5)}, 2e-8).voltage("3")
+        values = model.step_response(reference.times, amplitude=5.0)
+        assert np.abs(values - reference.values).max() < 2e-3 * 5
+
+    def test_stability_flag(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        assert reduce_transfer(system, "Vin", "3", 2).is_stable
+
+    def test_reuses_precomputed_moments(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        moments = transfer_moments(system, "Vin", "3", 8)
+        a = reduce_transfer(system, "Vin", "3", 2, moments=moments)
+        b = reduce_transfer(system, "Vin", "3", 2)
+        np.testing.assert_allclose(np.sort(a.poles.real), np.sort(b.poles.real))
+
+
+class TestShiftedExpansion:
+    def test_exact_poles_from_any_expansion_point(self, rc_ladder3):
+        from repro import circuit_poles
+
+        system = MnaSystem(rc_ladder3)
+        exact = np.sort(circuit_poles(system).poles.real)
+        for s0 in (0.0, 5e8, 3e9):
+            model = reduce_transfer(system, "Vin", "3", 3, expansion_point=s0)
+            np.testing.assert_allclose(np.sort(model.poles.real), exact, rtol=1e-7)
+
+    def test_moments_match_taylor_coefficients(self, single_rc):
+        # H(s) = 1/(1+sτ) about s0: coefficients (−τ)^k/(1+s0τ)^{k+1}.
+        from repro.core.transfer import transfer_moments
+
+        system = MnaSystem(single_rc)
+        tau, s0 = 1e-9, 2e9
+        moments = transfer_moments(system, "Vin", "1", 4, expansion_point=s0)
+        base = 1.0 + s0 * tau
+        expected = [(-tau) ** k / base ** (k + 1) for k in range(4)]
+        np.testing.assert_allclose(moments, expected, rtol=1e-12)
+
+    def test_left_half_plane_expansion_rejected(self, single_rc):
+        from repro.core.transfer import transfer_moments
+
+        with pytest.raises(ApproximationError, match="right half plane"):
+            transfer_moments(MnaSystem(single_rc), "Vin", "1", 2,
+                             expansion_point=-1e9)
+
+
+class TestDirectTerm:
+    @pytest.fixture
+    def capacitive_feedthrough(self):
+        # A victim coupled capacitively STRAIGHT OFF THE SOURCE NODE:
+        # H(∞) = Cc/(Cc+Cv) = 0.2 — unrepresentable by a strictly proper
+        # model.  (Coupling taken after a series resistor would roll off
+        # and stay proper.)
+        ckt = Circuit("feedthrough")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("Rd", "in", "a", 100.0)
+        ckt.add_capacitor("Ca", "a", "0", 0.5e-12)
+        ckt.add_capacitor("Cc", "in", "v", 0.2e-12)
+        ckt.add_capacitor("Cv", "v", "0", 0.8e-12)
+        ckt.add_resistor("Rv", "v", "0", 5e3)
+        return ckt
+
+    def test_direct_term_captures_high_frequency_limit(self, capacitive_feedthrough):
+        system = MnaSystem(capacitive_feedthrough)
+        omegas = np.logspace(9, 12.5, 50)
+        exact = exact_frequency_response(system, "Vin", "v", omegas)
+        # The strictly proper form cannot represent this transfer AT ALL:
+        # its Padé degenerates (a pole at infinity = the feedthrough term
+        # in disguise) at every order.
+        from repro.errors import MomentMatrixError
+
+        for q in (1, 2):
+            with pytest.raises(MomentMatrixError):
+                reduce_transfer(system, "Vin", "v", q)
+        # One pole + direct term nails the whole band.
+        with_d = reduce_transfer(system, "Vin", "v", 1, direct_term=True)
+        model = with_d.frequency_response(omegas)
+        assert np.abs(model - exact).max() < 0.02 * np.abs(exact).max()
+        assert with_d.direct == pytest.approx(0.2, rel=1e-6)
+
+    def test_direct_term_zero_for_proper_transfers(self, rc_ladder3):
+        system = MnaSystem(rc_ladder3)
+        model = reduce_transfer(system, "Vin", "3", 3, direct_term=True)
+        # The ladder transfer is strictly proper; d must be ~0 relative to
+        # the DC gain.
+        assert abs(model.direct) < 1e-6
+
+    def test_dc_gain_still_matched(self, capacitive_feedthrough):
+        system = MnaSystem(capacitive_feedthrough)
+        from repro.core.transfer import transfer_moments
+
+        m0 = transfer_moments(system, "Vin", "v", 1)[0]
+        model = reduce_transfer(system, "Vin", "v", 1, direct_term=True)
+        assert model.dc_gain == pytest.approx(m0, rel=1e-9)
+
+
+class TestExactFrequencyResponse:
+    def test_single_rc_analytic(self, single_rc):
+        system = MnaSystem(single_rc)
+        omegas = np.logspace(7, 11, 25)
+        values = exact_frequency_response(system, "Vin", "1", omegas)
+        analytic = 1.0 / (1.0 + 1j * omegas * 1e-9)
+        np.testing.assert_allclose(values, analytic, rtol=1e-10)
+
+    def test_floating_group_handled(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        omegas = np.logspace(6, 11, 10)
+        values = exact_frequency_response(system, "Vin", "f", omegas)
+        assert np.all(np.isfinite(values))
+        # DC limit: zero trapped charge → capacitive divider 0.5/2.5 of
+        # the (DC-following) node-1 voltage.
+        assert abs(values[0]) == pytest.approx(0.2, rel=1e-3)
+        # High frequency: node 1 itself rolls off, so v(f) does too.
+        assert abs(values[-1]) < 0.01
+
+    def test_reduced_matches_exact_on_floating_circuit(self, floating_node_circuit):
+        # v(f) is exactly 0.2·v(1): a pure single-pole transfer (the
+        # floating divider is frequency-independent), so order 1 is exact.
+        system = MnaSystem(floating_node_circuit)
+        model = reduce_transfer(system, "Vin", "f", 1)
+        omegas = np.logspace(6, 11, 30)
+        exact = exact_frequency_response(system, "Vin", "f", omegas)
+        assert np.abs(model.frequency_response(omegas) - exact).max() < 1e-9
+        assert model.poles[0].real == pytest.approx(-1.0 / 1.4e-9, rel=1e-9)
+
+
+class TestScalingLargerCircuit:
+    def test_ladder20_reduction_quality(self):
+        circuit = rc_ladder(20)
+        system = MnaSystem(circuit)
+        omegas = np.logspace(6, 10, 50)
+        exact = exact_frequency_response(system, "Vin", "20", omegas)
+        model = reduce_transfer(system, "Vin", "20", 4)
+        # Four poles capture a 20-pole line to sub-percent over 4 decades.
+        error = np.abs(model.frequency_response(omegas) - exact).max()
+        assert error < 0.01 * np.abs(exact).max()

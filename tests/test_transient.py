@@ -1,0 +1,155 @@
+"""Tests for the SPICE-stand-in transient simulator."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem, simulate
+from repro.analysis.dcop import StorageState
+from repro.analysis.sources import DC, Pulse, Ramp, Step
+from repro.errors import AnalysisError
+from repro.papercircuits import fig16_stiff_rc_tree
+
+
+class TestAgainstAnalytic:
+    def test_rc_step(self, single_rc):
+        result = simulate(single_rc, {"Vin": Step(0, 5)}, 5e-9)
+        w = result.voltage("1")
+        exact = 5 * (1 - np.exp(-w.times / 1e-9))
+        assert np.abs(w.values - exact).max() < 5e-4 * 5
+
+    def test_rc_ramp(self, single_rc):
+        tau, T = 1e-9, 2e-9
+        result = simulate(single_rc, {"Vin": Ramp(0, 5, rise_time=T)}, 8e-9)
+        w = result.voltage("1")
+        slope = 5 / T
+
+        def ramp_response(t):
+            r1 = slope * (t - tau + tau * np.exp(-t / tau))
+            t2 = np.maximum(t - T, 0.0)
+            r2 = slope * (t2 - tau + tau * np.exp(-t2 / tau))
+            return np.where(w.times >= T, r1 - r2, r1)
+
+        assert np.abs(w.values - ramp_response(w.times)).max() < 5e-4 * 5
+
+    def test_series_rlc_ringing(self, series_rlc):
+        result = simulate(series_rlc, {"Vin": Step(0, 5)}, 3e-8)
+        w = result.voltage("b")
+        alpha = 10.0 / (2 * 10e-9)
+        omega0sq = 1.0 / (10e-9 * 1e-12)
+        omega_d = np.sqrt(omega0sq - alpha**2)
+        t = w.times
+        exact = 5 * (
+            1 - np.exp(-alpha * t) * (np.cos(omega_d * t) + alpha / omega_d * np.sin(omega_d * t))
+        )
+        assert np.abs(w.values - exact).max() < 2e-3 * 5
+
+    def test_initial_condition_decay(self, single_rc):
+        single_rc.set_initial_voltage("C1", 3.0)
+        result = simulate(single_rc, {"Vin": DC(0.0)}, 5e-9)
+        w = result.voltage("1")
+        assert np.abs(w.values - 3.0 * np.exp(-w.times / 1e-9)).max() < 2e-3
+
+
+class TestMechanics:
+    def test_refinement_reported(self, single_rc):
+        result = simulate(single_rc, {"Vin": Step(0, 5)}, 5e-9, steps=16)
+        assert result.refinements >= 1
+
+    def test_no_refinement_mode(self, single_rc):
+        result = simulate(single_rc, {"Vin": Step(0, 5)}, 5e-9, refine_tolerance=None)
+        assert result.refinements == 0
+
+    def test_backward_euler_runs(self, single_rc):
+        result = simulate(single_rc, {"Vin": Step(0, 5)}, 5e-9, method="backward_euler")
+        w = result.voltage("1")
+        exact = 5 * (1 - np.exp(-w.times / 1e-9))
+        assert np.abs(w.values - exact).max() < 5e-3 * 5
+
+    def test_unknown_method(self, single_rc):
+        with pytest.raises(AnalysisError):
+            simulate(single_rc, {}, 1e-9, method="gear")
+
+    def test_bad_time_range(self, single_rc):
+        with pytest.raises(AnalysisError):
+            simulate(single_rc, {}, 0.0)
+
+    def test_unknown_stimulus_source(self, single_rc):
+        with pytest.raises(AnalysisError, match="unknown sources"):
+            simulate(single_rc, {"Vxx": Step(0, 5)}, 1e-9)
+
+    def test_unlisted_source_steps_dc0_to_dc(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("V", "a", "0", dc=5.0, dc0=0.0)
+        ckt.add_resistor("R", "a", "b", 1e3)
+        ckt.add_capacitor("C", "b", "0", 1e-12)
+        result = simulate(ckt, {}, 1.5e-8)
+        w = result.voltage("b")
+        assert w.values[-1] == pytest.approx(5.0, rel=1e-3)
+        assert w.values[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_current_waveform_output(self, single_rc):
+        result = simulate(single_rc, {"Vin": Step(0, 5)}, 5e-9)
+        i = result.current("Vin")
+        # At t=0+ the full 5 V is across R1: 5 mA out of the source.
+        assert i.values[0] == pytest.approx(-5e-3, rel=1e-6)
+
+    def test_capacitor_voltage_output(self, floating_node_circuit):
+        result = simulate(floating_node_circuit, {"Vin": Step(0, 5)}, 2e-8)
+        vc = result.capacitor_voltage("Cc")
+        # Final: v(1) = 5, v(f) = 5·0.5/2.5 = 1 → 4 V across the coupler.
+        assert vc.values[-1] == pytest.approx(4.0, rel=1e-2)
+
+    def test_ground_voltage_is_zero(self, single_rc):
+        result = simulate(single_rc, {"Vin": Step(0, 5)}, 1e-9)
+        assert np.all(result.voltage("0").values == 0.0)
+
+    def test_explicit_initial_state(self, single_rc):
+        state = StorageState({"C1": 2.0}, {})
+        result = simulate(single_rc, {"Vin": DC(0.0)}, 5e-9, initial_state=state)
+        assert result.voltage("1").values[0] == pytest.approx(2.0)
+
+
+class TestTrBdf2:
+    def test_no_algebraic_parasite_on_ringing_ic(self, series_rlc):
+        # Plain trapezoidal leaves a persistent (−1)^n parasite on the MNA
+        # algebraic variables for this inductor-IC problem; TR-BDF2
+        # (the default) must settle cleanly to zero.
+        series_rlc.set_initial_current("L1", 5e-3)
+        series_rlc.set_initial_voltage("C1", 0.0)
+        result = simulate(series_rlc, {"Vin": DC(0.0)}, 1.2e-8,
+                          refine_tolerance=5e-4)
+        w = result.voltage("a")
+        tail = np.abs(w.values[-20:])
+        # The physical envelope at t = 6·(2L/R) is e⁻⁶ ≈ 0.25 % of swing;
+        # the trapezoidal parasite was ~20 % and did not decay at all.
+        assert tail.max() < 4e-3 * np.abs(w.values).max()
+        # And the samples must not alternate in sign step to step.
+        signs = np.sign(w.values[-20:])
+        assert not np.all(signs[1:] * signs[:-1] <= 0)
+
+    def test_second_order_accuracy(self, single_rc):
+        # Fixed-grid error must shrink ~4x per step-count doubling.
+        errors = []
+        for steps in (50, 100, 200):
+            result = simulate(single_rc, {"Vin": Step(0, 5)}, 5e-9,
+                              steps=steps, refine_tolerance=None)
+            w = result.voltage("1")
+            exact = 5 * (1 - np.exp(-w.times / 1e-9))
+            errors.append(np.abs(w.values - exact).max())
+        assert errors[0] / errors[1] > 3.0
+        assert errors[1] / errors[2] > 3.0
+
+
+class TestStiffCircuit:
+    def test_stiff_tree_converges(self):
+        ckt = fig16_stiff_rc_tree(sharing_voltage=5.0)
+        result = simulate(ckt, {"Vin": Step(0, 5)}, 6e-9)
+        w = result.voltage("7")
+        assert w.values[-1] == pytest.approx(5.0, rel=1e-3)
+
+    def test_pulse_returns_to_zero(self, single_rc):
+        stim = Pulse(0, 5, delay=0.0, rise=0.1e-9, width=2e-9, fall=0.1e-9)
+        result = simulate(single_rc, {"Vin": stim}, 1.2e-8)
+        w = result.voltage("1")
+        assert abs(w.values[-1]) < 0.02
+        assert w.values.max() > 4.0

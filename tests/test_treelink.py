@@ -1,0 +1,117 @@
+"""Tests for tree/link analysis (paper Sec. IV) against the MNA engine."""
+
+import numpy as np
+import pytest
+
+from repro import MnaSystem
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.core.moments import homogeneous_moments
+from repro.errors import TopologyError
+from repro.papercircuits import (
+    fig4_elmore_delays,
+    fig4_rc_tree,
+    fig9_grounded_resistor,
+    random_rc_tree,
+    rc_mesh,
+)
+from repro.rctree import (
+    TreeLinkAnalysis,
+    elmore_delays,
+    treelink_elmore_delays,
+    treelink_moments,
+    treelink_steady_state,
+)
+
+
+def mna_moment_reference(circuit, v_supply, count):
+    """Homogeneous moments via the MNA engine, keyed by capacitor name."""
+    system = MnaSystem(circuit)
+    sources = {s.name: v_supply for s in circuit.voltage_sources}
+    zeros = {name: 0.0 for name in sources}
+    state = resolve_initial_storage_state(system, zeros)
+    x0 = initial_operating_point(circuit, system, state, sources)
+    x_final = dc_operating_point(system, sources)
+    moments = homogeneous_moments(system, x0 - x_final, count)
+    result = {}
+    for cap in circuit.capacitors:
+        node = cap.positive if cap.negative == "0" else cap.negative
+        result[cap.name] = moments.sequence_for(system.index.node(node))
+    return result
+
+
+class TestSteadyState:
+    def test_rc_tree_explicit(self):
+        v_ss = treelink_steady_state(fig4_rc_tree(), {"Vin": 5.0})
+        assert all(v == pytest.approx(5.0) for v in v_ss.values())
+
+    def test_grounded_resistor_inexplicit(self):
+        v_ss = treelink_steady_state(fig9_grounded_resistor(), {"Vin": 5.0})
+        assert v_ss["C4"] == pytest.approx(5.0 * 4.0 / 7.0)
+
+    def test_mesh_steady_state_matches_mna(self):
+        circuit = rc_mesh(2, 3)
+        v_tl = treelink_steady_state(circuit, {"Vin": 5.0})
+        system = MnaSystem(circuit)
+        x = dc_operating_point(system, {"Vin": 5.0})
+        for cap in circuit.capacitors:
+            node = cap.positive if cap.negative == "0" else cap.negative
+            assert v_tl[cap.name] == pytest.approx(x[system.index.node(node)])
+
+
+class TestMoments:
+    @pytest.mark.parametrize("circuit_factory", [
+        fig4_rc_tree,
+        fig9_grounded_resistor,
+        lambda: random_rc_tree(9, seed=13),
+        lambda: rc_mesh(2, 2),
+    ], ids=["fig4", "fig9", "random-tree", "mesh"])
+    def test_moments_match_mna(self, circuit_factory):
+        circuit = circuit_factory()
+        reference = mna_moment_reference(circuit, 5.0, 4)
+        treelink = treelink_moments(circuit, {"Vin": 5.0}, 4)
+        for name, expected in reference.items():
+            np.testing.assert_allclose(treelink[name], expected, rtol=1e-9,
+                                       err_msg=name)
+
+    def test_elmore_via_treelink_equals_tree_walk(self):
+        # Paper eq. 50 (tree walk) vs eq. 56 (tree/link) on Fig. 4.
+        via_treelink = treelink_elmore_delays(fig4_rc_tree(), 5.0)
+        via_walk = elmore_delays(fig4_rc_tree())
+        hand = fig4_elmore_delays()
+        for node, expected in hand.items():
+            assert via_treelink[f"C{node}"] == pytest.approx(expected)
+            assert via_walk[node] == pytest.approx(expected)
+
+    def test_elmore_supply_invariance(self):
+        d1 = treelink_elmore_delays(fig4_rc_tree(), 1.0)
+        d5 = treelink_elmore_delays(fig4_rc_tree(), 5.0)
+        for name in d1:
+            assert d1[name] == pytest.approx(d5[name])
+
+
+class TestPartitionStructure:
+    def test_rc_tree_has_no_resistive_links(self):
+        analysis = TreeLinkAnalysis(fig4_rc_tree())
+        assert analysis.resistive_links == []
+
+    def test_grounded_resistor_forces_one_link(self):
+        analysis = TreeLinkAnalysis(fig9_grounded_resistor())
+        assert len(analysis.resistive_links) == 1
+
+    def test_mesh_link_count(self):
+        # A 2x2 mesh: 4 mesh resistors + 1 driver; spanning tree uses 4
+        # (source counts as one tree branch) → 1 resistive link per loop.
+        analysis = TreeLinkAnalysis(rc_mesh(2, 2))
+        assert len(analysis.resistive_links) == 1
+
+    def test_unsupported_elements_rejected(self, series_rlc):
+        with pytest.raises(TopologyError, match="R/C/V/I"):
+            TreeLinkAnalysis(series_rlc)
+
+    def test_capacitor_only_node_rejected(self, floating_node_circuit):
+        with pytest.raises(TopologyError, match="spanning tree"):
+            TreeLinkAnalysis(floating_node_circuit)

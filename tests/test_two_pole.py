@@ -1,0 +1,73 @@
+"""Tests for the standalone two-pole (Chu–Horowitz style) model."""
+
+import numpy as np
+import pytest
+
+from repro import AweAnalyzer, Step, simulate
+from repro.errors import ApproximationError
+from repro.papercircuits import fig16_stiff_rc_tree, fig4_rc_tree, random_rc_tree
+from repro.rctree import two_pole_model
+
+
+class TestAgainstAwe:
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_matches_second_order_awe(self, seed):
+        # The module's reason to exist: the closed-form quadratic path must
+        # agree with the general Padé machinery at q = 2.
+        circuit = random_rc_tree(8, seed=seed)
+        node = circuit.nodes[-1]
+        model = two_pole_model(circuit, node, 5.0)
+        response = AweAnalyzer(circuit, {"Vin": Step(0, 5)}).response(node, order=2)
+        np.testing.assert_allclose(
+            np.sort(np.array(model.poles).real),
+            np.sort(response.poles.real),
+            rtol=1e-6,
+        )
+
+    def test_fig16_poles(self):
+        model = two_pole_model(fig16_stiff_rc_tree(), "7", 5.0)
+        dominant = min(model.poles, key=abs)
+        assert dominant.real == pytest.approx(-1.7818e9, rel=5e-3)
+
+
+class TestWaveform:
+    def test_tracks_transient(self):
+        circuit = fig4_rc_tree()
+        model = two_pole_model(circuit, "4", 5.0)
+        reference = simulate(circuit, {"Vin": Step(0, 5)}, 6e-3).voltage("4")
+        candidate = model.evaluate(reference.times)
+        assert np.abs(candidate - reference.values).max() < 0.05 * 5
+
+    def test_final_value(self):
+        model = two_pole_model(fig4_rc_tree(), "4", 5.0)
+        assert model.v_final == pytest.approx(5.0)
+
+    def test_initial_value_matched(self):
+        model = two_pole_model(fig4_rc_tree(), "4", 5.0)
+        assert model.evaluate(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_stability_flag(self):
+        model = two_pole_model(fig4_rc_tree(), "4", 5.0)
+        assert model.is_stable
+
+    def test_to_waveform(self):
+        model = two_pole_model(fig4_rc_tree(), "4", 5.0)
+        w = model.to_waveform(np.linspace(0, 6e-3, 64))
+        assert "2-pole" in w.name
+
+
+class TestFailures:
+    def test_first_order_circuit_rejected(self, single_rc):
+        with pytest.raises(ApproximationError, match="first-order"):
+            two_pole_model(single_rc, "1", 5.0)
+
+    def test_no_source(self):
+        from repro import Circuit
+
+        ckt = Circuit()
+        ckt.add_resistor("R", "a", "0", 1.0)
+        ckt.add_capacitor("C", "a", "0", 1e-12)
+        ckt.add_capacitor("C2", "a", "b", 1e-12)
+        ckt.add_resistor("R2", "b", "0", 1.0)
+        with pytest.raises(ApproximationError, match="no source"):
+            two_pole_model(ckt, "a", 5.0)

@@ -1,0 +1,96 @@
+"""Tests for SPICE value parsing and engineering formatting."""
+
+import math
+
+import pytest
+
+from repro.circuit.units import format_engineering, parse_value
+from repro.errors import NetlistParseError
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("4.7") == 4.7
+
+    def test_scientific_notation(self):
+        assert parse_value("1e-9") == 1e-9
+
+    def test_negative(self):
+        assert parse_value("-3.3") == -3.3
+
+    def test_kilo(self):
+        assert parse_value("10k") == 10_000.0
+
+    def test_meg_is_not_milli(self):
+        assert parse_value("1meg") == 1e6
+
+    def test_milli(self):
+        assert parse_value("5m") == 5e-3
+
+    def test_micro(self):
+        assert parse_value("2.5u") == pytest.approx(2.5e-6)
+
+    def test_nano_pico_femto(self):
+        assert parse_value("1n") == 1e-9
+        assert parse_value("1p") == 1e-12
+        assert parse_value("1f") == 1e-15
+
+    def test_giga_tera(self):
+        assert parse_value("2g") == 2e9
+        assert parse_value("2t") == 2e12
+
+    def test_unit_letters_after_suffix_ignored(self):
+        assert parse_value("10kohm") == 10_000.0
+        assert parse_value("5pF") == 5e-12
+
+    def test_bare_unit_name_is_ignored(self):
+        # 'ohm' starts with 'o', not a scale prefix: value passes through.
+        assert parse_value("50ohm") == 50.0
+
+    def test_case_insensitive(self):
+        assert parse_value("10K") == 10_000.0
+        assert parse_value("1MEG") == 1e6
+
+    def test_passthrough_numeric_types(self):
+        assert parse_value(3) == 3.0
+        assert parse_value(2.5) == 2.5
+
+    def test_leading_dot(self):
+        assert parse_value(".5u") == 0.5e-6
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1.2.3", "--5", "k10"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(NetlistParseError):
+            parse_value(bad)
+
+
+class TestFormatEngineering:
+    def test_basic_prefixes(self):
+        assert format_engineering(2.2e-9, "s") == "2.2ns"
+        assert format_engineering(4.7e3) == "4.7k"
+        assert format_engineering(1e6, "Hz") == "1MHz"
+
+    def test_unity_range(self):
+        assert format_engineering(3.0, "V") == "3V"
+
+    def test_zero(self):
+        assert format_engineering(0.0, "V") == "0V"
+
+    def test_negative_value(self):
+        assert format_engineering(-1.5e-12, "F") == "-1.5pF"
+
+    def test_non_finite(self):
+        assert format_engineering(math.inf) == "inf"
+        assert format_engineering(math.nan) == "nan"
+
+    def test_tiny_value_falls_back_to_scientific(self):
+        text = format_engineering(1e-21)
+        assert "e-21" in text
+
+    def test_digits_control(self):
+        assert format_engineering(1.23456e3, digits=3) == "1.23k"
+
+    def test_round_trip(self):
+        for value in (1e-15, 3.3e-9, 4.7e3, 2.0, 9.99e11):
+            formatted = format_engineering(value)
+            assert parse_value(formatted.lower()) == pytest.approx(value, rel=1e-3)

@@ -1,0 +1,91 @@
+"""Tests for whole-circuit structural validation."""
+
+import pytest
+
+from repro import Circuit
+from repro.circuit.validation import validate_for_analysis
+from repro.errors import CircuitError, SingularCircuitError, TopologyError
+
+
+def test_empty_circuit_rejected():
+    with pytest.raises(CircuitError, match="empty"):
+        validate_for_analysis(Circuit())
+
+
+def test_no_ground_rejected():
+    ckt = Circuit()
+    ckt.add_resistor("R1", "a", "b", 1.0)
+    ckt.add_capacitor("C1", "b", "c", 1e-12)
+    with pytest.raises(TopologyError, match="ground"):
+        validate_for_analysis(ckt)
+
+
+def test_healthy_circuit_passes(single_rc):
+    validate_for_analysis(single_rc)
+
+
+def test_voltage_source_loop_rejected():
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_voltage_source("V2", "a", "0", 5.0)
+    with pytest.raises(SingularCircuitError, match="loop"):
+        validate_for_analysis(ckt)
+
+
+def test_inductor_voltage_source_loop_rejected():
+    # An inductor directly across a voltage source shorts it at DC.
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_inductor("L1", "a", "0", 1e-9)
+    with pytest.raises(SingularCircuitError, match="loop"):
+        validate_for_analysis(ckt)
+
+
+def test_inductor_loop_rejected():
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_resistor("R1", "a", "b", 1.0)
+    ckt.add_inductor("L1", "b", "c", 1e-9)
+    ckt.add_inductor("L2", "b", "c", 2e-9)
+    with pytest.raises(SingularCircuitError):
+        validate_for_analysis(ckt)
+
+
+def test_current_source_only_node_rejected():
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_current_source("I1", "a", "x", 1e-3)
+    with pytest.raises(SingularCircuitError, match="current sources"):
+        validate_for_analysis(ckt)
+
+
+def test_controlled_source_unknown_controller():
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_resistor("R1", "a", "b", 1.0)
+    ckt.add_cccs("F1", "b", "0", "Vxx", 2.0)
+    with pytest.raises(CircuitError, match="nonexistent"):
+        validate_for_analysis(ckt)
+
+
+def test_controlled_source_controller_without_current():
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_resistor("R1", "a", "b", 1.0)
+    ckt.add_cccs("F1", "b", "0", "R1", 2.0)
+    with pytest.raises(CircuitError, match="carries"):
+        validate_for_analysis(ckt)
+
+
+def test_floating_capacitive_node_allowed(floating_node_circuit):
+    # Floating nodes are handled by charge conservation, not rejected.
+    validate_for_analysis(floating_node_circuit)
+
+
+def test_vcvs_loop_detected():
+    ckt = Circuit()
+    ckt.add_voltage_source("V1", "a", "0", 5.0)
+    ckt.add_resistor("R1", "a", "b", 1.0)
+    ckt.add_vcvs("E1", "a", "0", "b", "0", 2.0)
+    with pytest.raises(SingularCircuitError):
+        validate_for_analysis(ckt)

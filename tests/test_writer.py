@@ -1,0 +1,117 @@
+"""Tests for the netlist writer, including parse/write round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Circuit, parse_netlist
+from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step
+from repro.circuit.writer import write_netlist, write_netlist_file
+from repro.errors import CircuitError
+from repro.papercircuits import fig25_rlc_ladder, fig4_rc_tree, random_rc_tree
+
+
+def roundtrip(circuit, stimuli=None):
+    return parse_netlist(write_netlist(circuit, stimuli))
+
+
+class TestRoundTrip:
+    def test_fig4_elements_exact(self):
+        circuit = fig4_rc_tree()
+        deck = roundtrip(circuit)
+        assert len(deck.circuit) == len(circuit)
+        for element in circuit:
+            clone = deck.circuit[element.name]
+            assert clone.nodes == element.nodes
+            for attr in ("resistance", "capacitance", "dc"):
+                if hasattr(element, attr):
+                    assert getattr(clone, attr) == getattr(element, attr)
+
+    def test_rlc_with_title(self):
+        circuit = fig25_rlc_ladder()
+        deck = roundtrip(circuit)
+        assert deck.title == circuit.title
+        assert len(deck.circuit.inductors) == 3
+
+    def test_initial_conditions_preserved(self):
+        circuit = fig4_rc_tree()
+        circuit.set_initial_voltage("C2", 2.5)
+        deck = roundtrip(circuit)
+        assert deck.circuit["C2"].initial_voltage == 2.5
+
+    def test_mutual_inductance_preserved(self):
+        ckt = Circuit("coupled")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_inductor("L1", "in", "a", 10e-9)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        ckt.add_inductor("L2", "b", "0", 5e-9)
+        ckt.add_resistor("R2", "b", "0", 50.0)
+        ckt.add_mutual_inductance("K12", "L1", "L2", 0.42)
+        deck = roundtrip(ckt)
+        assert deck.circuit.mutual_inductances[0].coupling == 0.42
+
+    def test_controlled_sources(self):
+        ckt = Circuit("ctl")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("R1", "in", "a", 1e3)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        ckt.add_vcvs("E1", "b", "0", "a", "0", 2.0)
+        ckt.add_resistor("R2", "b", "0", 1e3)
+        ckt.add_cccs("F1", "c", "0", "Vin", -1.0)
+        ckt.add_resistor("R3", "c", "0", 1e3)
+        deck = roundtrip(ckt)
+        assert deck.circuit["E1"].gain == 2.0
+        assert deck.circuit["F1"].control_element == "Vin"
+
+    @pytest.mark.parametrize("stimulus", [
+        DC(3.3),
+        Step(0.0, 5.0, delay=1e-9),
+        Ramp(0.0, 5.0, rise_time=2e-9),
+        Pulse(0.0, 5.0, delay=1e-9, rise=0.1e-9, width=3e-9, fall=0.2e-9),
+        PWL([(0, 0), (1e-9, 2.5), (2e-9, 5.0)]),
+    ], ids=lambda s: type(s).__name__)
+    def test_stimuli_waveforms_preserved(self, stimulus):
+        circuit = fig4_rc_tree()
+        deck = roundtrip(circuit, {"Vin": stimulus})
+        restored = deck.stimuli["Vin"]
+        t = np.linspace(0, 6e-9, 200)
+        np.testing.assert_allclose(restored.value(t), stimulus.value(t),
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "out.sp"
+        write_netlist_file(path, fig4_rc_tree())
+        assert parse_netlist(path.read_text()).circuit["R1"].resistance == 1e3
+
+
+class TestValidation:
+    def test_wrong_first_letter_rejected(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("wire1", "in", "a", 1e3)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        with pytest.raises(CircuitError, match="wire1"):
+            write_netlist(ckt)
+
+    def test_title_override(self):
+        text = write_netlist(fig4_rc_tree(), title="custom")
+        assert text.splitlines()[0] == "custom"
+
+    def test_ends_with_end(self):
+        assert write_netlist(fig4_rc_tree()).rstrip().endswith(".end")
+
+
+class TestPropertyRoundTrip:
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_trees_roundtrip_exactly(self, nodes, seed):
+        circuit = random_rc_tree(nodes, seed=seed)
+        deck = roundtrip(circuit)
+        assert len(deck.circuit) == len(circuit)
+        for element in circuit:
+            clone = deck.circuit[element.name]
+            if hasattr(element, "resistance"):
+                assert clone.resistance == element.resistance
+            if hasattr(element, "capacitance"):
+                assert clone.capacitance == element.capacitance

@@ -1,0 +1,107 @@
+"""Tests for transfer and response zeros."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, MnaSystem, circuit_poles
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.analysis.poles import exact_homogeneous_response
+from repro.analysis.zeros import response_zeros, transfer_zeros
+from repro.errors import AnalysisError
+from repro.papercircuits import fig16_stiff_rc_tree
+
+
+@pytest.fixture
+def bridged_t() -> Circuit:
+    """A bridged-T: the feed-through cap creates a complex zero pair."""
+    ckt = Circuit("bridged T")
+    ckt.add_voltage_source("V", "in", "0")
+    ckt.add_resistor("R1", "in", "m", 1e3)
+    ckt.add_capacitor("C1", "m", "0", 1e-12)
+    ckt.add_resistor("R2", "m", "o", 1e3)
+    ckt.add_capacitor("Cb", "in", "o", 0.2e-12)
+    ckt.add_capacitor("C2", "o", "0", 1e-12)
+    return ckt
+
+
+class TestTransferZeros:
+    def test_ladder_has_no_zeros(self, rc_ladder3):
+        zeros = transfer_zeros(MnaSystem(rc_ladder3), "Vin", "3")
+        assert len(zeros) == 0
+
+    def test_bridged_t_zero_pair(self, bridged_t):
+        zeros = transfer_zeros(MnaSystem(bridged_t), "V", "o")
+        assert len(zeros) == 2
+        assert zeros[0] == pytest.approx(np.conj(zeros[1]))
+
+    def test_zeros_annihilate_transfer(self, bridged_t):
+        system = MnaSystem(bridged_t)
+        zeros = transfer_zeros(system, "V", "o")
+        row = system.index.node("o")
+        for zero in zeros:
+            x = np.linalg.solve(system.G + zero * system.C, system.B[:, 0])
+            assert abs(x[row]) < 1e-12
+
+    def test_ground_rejected(self, rc_ladder3):
+        with pytest.raises(AnalysisError):
+            transfer_zeros(MnaSystem(rc_ladder3), "Vin", "0")
+
+    def test_intermediate_node_has_zeros(self, rc_ladder3):
+        # Looking INTO the ladder (node 1), the downstream network creates
+        # zeros in the transfer (it is no longer a simple cascade).
+        zeros = transfer_zeros(MnaSystem(rc_ladder3), "Vin", "1")
+        assert len(zeros) == 2
+        assert np.all(zeros.real < 0)
+
+
+class TestResponseZeros:
+    def homogeneous_state(self, circuit, v=5.0):
+        system = MnaSystem(circuit)
+        state = resolve_initial_storage_state(system, {"Vin": 0.0})
+        x0 = initial_operating_point(circuit, system, state, {"Vin": v})
+        x_final = dc_operating_point(system, {"Vin": v})
+        return system, x0 - x_final
+
+    def test_ic_shifts_modal_excitation(self):
+        """The paper's Table I mechanism: V(C6)=5 changes which natural
+        frequencies the initial state excites — the pole-3 residue at the
+        output grows several-fold, which is why the second-order fit
+        migrates from pole 2 toward pole 3."""
+
+        def residues(ic):
+            circuit = fig16_stiff_rc_tree(sharing_voltage=ic)
+            system, y0 = self.homogeneous_state(circuit)
+            modal = exact_homogeneous_response(system, y0, circuit_poles(system))
+            poles, res = modal.component_residues(system.index.node("7"))
+            order = np.argsort(np.abs(poles))
+            return res[order].real
+
+        base = residues(None)
+        shared = residues(5.0)
+        # Pole 3's relative weight grows by at least 3x with the IC.
+        assert abs(shared[2]) / abs(shared[1]) > 3 * abs(base[2]) / abs(base[1])
+
+    def test_response_zeros_move_with_ic(self):
+        circuit0 = fig16_stiff_rc_tree()
+        circuit1 = fig16_stiff_rc_tree(sharing_voltage=5.0)
+        system0, y00 = self.homogeneous_state(circuit0)
+        system1, y01 = self.homogeneous_state(circuit1)
+        zeros0 = response_zeros(system0, y00, "7")
+        zeros1 = response_zeros(system1, y01, "7")
+        assert len(zeros0) > 0 and len(zeros1) > 0
+        # The dominant zero moves when the IC changes.
+        assert abs(zeros0[0] - zeros1[0]) > 1e-3 * abs(zeros0[0])
+
+    def test_zero_cancellation_explains_low_order_success(self, rc_ladder3):
+        # Step-response zeros of the ladder sit near poles 2 and 3 — the
+        # partial cancellations that make a 1-pole model so effective.
+        system, y0 = self.homogeneous_state(rc_ladder3)
+        zeros = response_zeros(system, y0, "3")
+        poles = np.sort(circuit_poles(system).poles.real)[::-1]
+        assert len(zeros) == 2
+        for zero, pole in zip(np.sort(zeros.real)[::-1], poles[1:]):
+            assert abs(zero - pole) < 0.6 * abs(pole)
