@@ -15,11 +15,47 @@ evaluation (Sec. IV–V).  The convention:
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro import simulate
 from repro.waveform import Waveform, l2_error
+
+#: Machine-readable benchmark results land next to the repo root so CI can
+#: archive them; see :func:`record_bench`.
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_scaling.json")
+
+
+def record_bench(name: str, payload: dict, path: str | None = None) -> dict:
+    """Merge one benchmark's measurements into ``BENCH_scaling.json``.
+
+    Each benchmark records under its own ``name`` key, so repeated runs of
+    a subset of the suite refresh only their own entries.  The stored
+    payload gains a ``recorded_at`` timestamp; the merged document is
+    returned (and written atomically via a temp file).
+    """
+    path = os.path.abspath(path or BENCH_JSON)
+    document: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    document[name] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **payload,
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return document
 
 
 def report(title: str, rows: list[tuple], headers: tuple = ("quantity", "paper", "measured")):

@@ -18,7 +18,7 @@ factorisation + the first solves).
 import numpy as np
 import pytest
 
-from _bench_utils import report
+from _bench_utils import record_bench, report
 from repro import MnaSystem
 from repro.analysis.dcop import (
     dc_operating_point,
@@ -88,5 +88,13 @@ class TestFig19CpuTime:
                 ("second-order increment", "small fraction", f"{t_increment*1e3:.3f} ms"),
                 ("increment / setup", "≪ 1", f"{t_increment/t_setup:.2f}"),
             ],
+        )
+        record_bench(
+            "fig19_cpu_time",
+            {
+                "first_order_setup_s": t_setup,
+                "second_order_increment_s": t_increment,
+                "increment_over_setup": t_increment / t_setup,
+            },
         )
         assert t_increment < 0.6 * t_setup

@@ -53,9 +53,11 @@ from repro.core import (
     PoleResidueModel,
     awe_response,
 )
+from repro.engine import AweJob, BatchEngine, BatchResult
 from repro.errors import (
     AnalysisError,
     ApproximationError,
+    BatchTimeoutError,
     CircuitError,
     MomentMatrixError,
     NetlistParseError,
@@ -65,6 +67,7 @@ from repro.errors import (
     TopologyError,
     UnstableApproximationError,
 )
+from repro.instrumentation import SolverStats
 from repro.waveform import Waveform, l2_error
 
 __version__ = "1.0.0"
@@ -73,8 +76,12 @@ __all__ = [
     "AnalysisError",
     "ApproximationError",
     "AweAnalyzer",
+    "AweJob",
     "AweResponse",
     "AweWaveform",
+    "BatchEngine",
+    "BatchResult",
+    "BatchTimeoutError",
     "Capacitor",
     "Circuit",
     "CircuitError",
@@ -92,6 +99,7 @@ __all__ = [
     "ReproError",
     "Resistor",
     "SingularCircuitError",
+    "SolverStats",
     "Step",
     "Stimulus",
     "TopologyError",

@@ -56,6 +56,7 @@ from repro.circuit.elements import (
 )
 from repro.circuit.netlist import Circuit
 from repro.errors import CircuitError, SingularCircuitError
+from repro.instrumentation import SolverStats
 
 
 @dataclasses.dataclass(frozen=True)
@@ -171,6 +172,7 @@ class MnaSystem:
             else self.index.dimension >= _SPARSE_THRESHOLD
         )
         self._lu = None
+        self.stats = SolverStats()
 
     # -- assembly ------------------------------------------------------
 
@@ -198,7 +200,9 @@ class MnaSystem:
         depending on :attr:`use_sparse`; callers should prefer
         :meth:`solve_augmented`, which dispatches."""
         if self._lu is None:
-            self._lu = self._factorise()
+            with self.stats.timer("factor_time_s"):
+                self._lu = self._factorise()
+            self.stats.add("lu_factorizations", 1)
         return self._lu
 
     def _factorise(self):
@@ -252,16 +256,38 @@ class MnaSystem:
         self, rhs: np.ndarray, charge_values: np.ndarray | None = None
     ) -> np.ndarray:
         """Solve ``G_aug y = rhs`` with the charge rows of ``rhs`` replaced
-        by ``charge_values`` (default zero)."""
+        by ``charge_values`` (default zero).
+
+        ``rhs`` may be a single vector of shape ``(dim,)`` or a matrix of
+        shape ``(dim, k)`` stacking ``k`` independent right-hand sides as
+        columns.  The matrix form performs **one** forward/back
+        substitution call for all ``k`` systems against the shared LU
+        factors — this is what lets the batched moment recursion advance
+        every subproblem's chain at the cost of a single solve per order.
+        For a matrix ``rhs``, ``charge_values`` may be ``(n_groups,)``
+        (applied to every column) or ``(n_groups, k)`` (per column).
+        """
         rhs = np.array(rhs, dtype=float, copy=True)
+        if rhs.ndim not in (1, 2):
+            raise CircuitError(
+                f"solve_augmented expects a vector or a matrix of column "
+                f"right-hand sides, got ndim={rhs.ndim}"
+            )
+        columns = 1 if rhs.ndim == 1 else rhs.shape[1]
         if self.charge_rows:
             if charge_values is None:
                 charge_values = np.zeros(len(self.charge_rows))
+            charge_values = np.asarray(charge_values, dtype=float)
+            if rhs.ndim == 2 and charge_values.ndim == 1:
+                charge_values = charge_values[:, np.newaxis]
             rhs[list(self.charge_rows)] = charge_values
         factor = self.lu()
-        if self.use_sparse:
-            return factor.solve(rhs)
-        return scipy.linalg.lu_solve(factor, rhs)
+        self.stats.add("triangular_solves", 1)
+        self.stats.add("solve_columns", columns)
+        with self.stats.timer("solve_time_s"):
+            if self.use_sparse:
+                return factor.solve(rhs)
+            return scipy.linalg.lu_solve(factor, rhs)
 
     def source_vector(self, values: dict[str, float] | np.ndarray) -> np.ndarray:
         """Build ``u`` from a name->value mapping (missing sources are 0)

@@ -14,11 +14,20 @@ Installed as ``python -m repro``.  Three subcommands:
     Run the SPICE-style transient reference and dump CSV samples — the
     escape hatch for inspecting any waveform exactly.
 
+``batch``
+    Run several decks through the :class:`~repro.engine.batch.BatchEngine`
+    in one shot: per-deck timing rows, structured failure reporting (a bad
+    deck never aborts the batch), optional process-pool fan-out
+    (``--workers``), per-job timeouts, and ``--stats`` solver
+    instrumentation (LU factorisations, triangular solves, moments, wall
+    time).
+
 Examples::
 
     python -m repro report net.sp --node out --target 0.01 --threshold 2.5
     python -m repro poles net.sp --order 2 --node out --source Vin
     python -m repro simulate net.sp --node out --t-stop 5e-9 --csv out.csv
+    python -m repro batch net1.sp net2.sp --node out --workers 4 --stats
 """
 
 from __future__ import annotations
@@ -80,6 +89,24 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("--node", required=True, help="output node")
     sens.add_argument("--top", type=int, default=8,
                       help="number of contributors to list (default 8)")
+
+    batch = commands.add_parser(
+        "batch", help="batch AWE timing across several decks"
+    )
+    batch.add_argument("decks", nargs="+", help="SPICE-style netlist files")
+    batch.add_argument("--node", action="append", required=True,
+                       help="output node, applied to every deck (repeatable)")
+    batch_group = batch.add_mutually_exclusive_group()
+    batch_group.add_argument("--order", type=int, help="fixed AWE order")
+    batch_group.add_argument("--target", type=float, default=0.01,
+                             help="error target for automatic order (default 0.01)")
+    batch.add_argument("--max-order", type=int, default=8)
+    batch.add_argument("--workers", type=int, default=1,
+                       help="process-pool width (default 1 = in-process)")
+    batch.add_argument("--timeout", type=float,
+                       help="per-job wall-clock timeout in seconds")
+    batch.add_argument("--stats", action="store_true",
+                       help="print solver instrumentation counters")
     return parser
 
 
@@ -184,6 +211,62 @@ def cmd_sensitivity(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from repro.engine import AweJob, BatchEngine
+    from repro.errors import ReproError as _ReproError
+    from repro.instrumentation import format_stats
+
+    jobs = []
+    parse_failures: list[tuple[str, str]] = []
+    for path in args.decks:
+        try:
+            deck = parse_netlist_file(path)
+        except (FileNotFoundError, _ReproError) as exc:
+            parse_failures.append((path, str(exc)))
+            continue
+        jobs.append(
+            AweJob(
+                deck.circuit,
+                tuple(args.node),
+                stimuli=deck.stimuli,
+                order=args.order,
+                error_target=args.target,
+                max_order=args.max_order,
+                label=deck.title or path,
+            )
+        )
+
+    engine = BatchEngine(workers=args.workers, timeout=args.timeout)
+    results = engine.run(jobs)
+
+    print(f"batch: {len(jobs)} job(s), {args.workers} worker(s)")
+    print(f"  {'deck':<24} {'node':<8} {'order':>5} {'final':>9} {'50% delay':>11}")
+    failed = len(parse_failures)
+    for result in results:
+        if not result.ok:
+            failed += 1
+            print(f"  {result.label:<24} FAILED [{result.error_type}] {result.error}")
+            continue
+        for node, response in result.responses.items():
+            final = response.waveform.final_value()
+            initial = float(response.waveform.evaluate(0.0))
+            if abs(final - initial) < 1e-6 * max(abs(final), abs(initial), 1.0):
+                delay_text = "n/a"
+            else:
+                delay_text = fmt(response.delay_50(), "s")
+            print(f"  {result.label:<24} {node:<8} {response.order:>5} "
+                  f"{final:>8.4f}V {delay_text:>11}")
+    for path, message in parse_failures:
+        print(f"  {path:<24} FAILED [parse] {message}")
+
+    if args.stats:
+        print("\nsolver instrumentation:")
+        print(format_stats(engine.stats()))
+    if failed:
+        print(f"\n{failed} of {len(jobs) + len(parse_failures)} job(s) failed")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -192,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         "poles": cmd_poles,
         "simulate": cmd_simulate,
         "sensitivity": cmd_sensitivity,
+        "batch": cmd_batch,
     }
     try:
         return handlers[args.command](args)

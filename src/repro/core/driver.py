@@ -50,7 +50,12 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.validation import validate_for_analysis
 from repro.core.error import cauchy_relative_error, relative_error
 from repro.core.model import AweWaveform, PoleResidueModel
-from repro.core.moments import MomentSet, homogeneous_moments, particular_solution
+from repro.core.moments import (
+    MomentSet,
+    homogeneous_moments,
+    homogeneous_moments_batch,
+    particular_solutions,
+)
 from repro.core.pade import match_poles
 from repro.core.residues import solve_residues
 from repro.errors import (
@@ -155,6 +160,10 @@ class AweAnalyzer:
     max_order:
         Hard cap on the approximation order (moments are computed lazily up
         to ``2·max_order + 1``).
+    sparse:
+        Factorisation backend override, forwarded to
+        :class:`~repro.analysis.mna.MnaSystem` (``None`` auto-selects by
+        dimension).
     """
 
     def __init__(
@@ -162,11 +171,12 @@ class AweAnalyzer:
         circuit: Circuit,
         stimuli: dict[str, Stimulus] | None = None,
         max_order: int = 8,
+        sparse: bool | None = None,
     ):
         validate_for_analysis(circuit)
         self.circuit = circuit
         self.max_order = max_order
-        self.system = MnaSystem(circuit)
+        self.system = MnaSystem(circuit, sparse=sparse)
         self.source_order = list(self.system.index.source_names)
         self.stimuli = complete_stimuli(circuit, stimuli or {}, self.source_order)
         self._subproblems: list[Subproblem] | None = None
@@ -207,9 +217,10 @@ class AweAnalyzer:
         if 0.0 in events_by_time:
             step0, slope0 = events_by_time.pop(0.0)
 
-        subproblems: list[Subproblem] = []
         count = self._moment_count(self.max_order)
 
+        # Phase 1 — per-subproblem excitations and initial states.
+        #
         # Main subproblem at t = 0: exactly the paper's eqs. 6–8 — the
         # initial state (pre-switching equilibrium overridden by explicit
         # ICs) released into the post-switching excitation
@@ -225,21 +236,12 @@ class AweAnalyzer:
             circuit, system, storage0, u0_dict, with_rates=True
         )
         charges = system.group_charge(x0) if system.floating_groups else None
-        particular = particular_solution(system, u0_main, slope0, charges)
-        y0 = x0 - particular.c0
-        trivial = _is_negligible(y0, x0, particular.c0)
-        moments = homogeneous_moments(system, y0, 0 if trivial else count)
-        subproblems.append(
-            Subproblem(
-                label="main",
-                t0=0.0,
-                c0=particular.c0,
-                c1=particular.c1,
-                moments=moments,
-                slope_reference=self._state_rates_by_node(rates, storage0),
-                trivial=trivial,
-            )
-        )
+
+        #: (label, t0, u0, u1, x_initial, slope_reference, group_charges)
+        specs: list[tuple] = [
+            ("main", 0.0, u0_main, slope0, x0,
+             self._state_rates_by_node(rates, storage0), charges)
+        ]
 
         # Later events: zero-state step+ramp responses superposed with a
         # time shift (paper Sec. 4.3 / Fig. 13).
@@ -251,23 +253,62 @@ class AweAnalyzer:
             u_step, u_slope = events_by_time[t_e]
             if not np.any(u_step) and not np.any(u_slope):
                 continue
-            particular = particular_solution(system, u_step, u_slope)
             u_jump = {name: float(u_step[k]) for k, name in enumerate(self.source_order)}
             x_jump, jump_rates = initial_operating_point(
                 circuit, system, zero_storage, u_jump, with_rates=True
             )
-            y0_e = x_jump - particular.c0
-            trivial = _is_negligible(y0_e, x_jump, particular.c0)
-            moments = homogeneous_moments(system, y0_e, 0 if trivial else count)
+            specs.append(
+                (f"event@{t_e:g}", t_e, u_step, u_slope, x_jump,
+                 self._state_rates_by_node(jump_rates, zero_storage), None)
+            )
+
+        # Phase 2 — all particular solutions in two multi-RHS solves.
+        group_charge_columns = None
+        if system.floating_groups:
+            n_groups = len(system.floating_groups)
+            group_charge_columns = np.column_stack(
+                [np.zeros(n_groups) if spec[6] is None else spec[6] for spec in specs]
+            )
+        particulars = particular_solutions(
+            system,
+            np.column_stack([spec[2] for spec in specs]),
+            np.column_stack([spec[3] for spec in specs]),
+            group_charge_columns,
+        )
+
+        # Phase 3 — one shared moment recursion for every non-trivial
+        # subproblem: the chains advance together, one triangular-solve
+        # call per order no matter how many subproblems there are.
+        y0s = [spec[4] - particular.c0 for spec, particular in zip(specs, particulars)]
+        trivial_flags = [
+            _is_negligible(y0, spec[4], particular.c0)
+            for y0, spec, particular in zip(y0s, specs, particulars)
+        ]
+        active = [i for i, trivial in enumerate(trivial_flags) if not trivial]
+        batch = None
+        if active:
+            batch = homogeneous_moments_batch(
+                system, np.column_stack([y0s[i] for i in active]), count
+            )
+
+        subproblems: list[Subproblem] = []
+        for i, (spec, particular) in enumerate(zip(specs, particulars)):
+            label, t0, _, _, _, slope_reference, _ = spec
+            if trivial_flags[i]:
+                # Preserves the single-subproblem path's trapped-charge
+                # validation without computing any moments.
+                moments = homogeneous_moments(system, y0s[i], 0)
+            else:
+                moments = batch.column(active.index(i))
             subproblems.append(
                 Subproblem(
-                    label=f"event@{t_e:g}",
-                    t0=t_e,
+                    label=label,
+                    t0=t0,
                     c0=particular.c0,
                     c1=particular.c1,
                     moments=moments,
-                    slope_reference=self._state_rates_by_node(jump_rates, zero_storage),
-                    trivial=trivial,
+                    slope_reference=slope_reference,
+                    trivial=trivial_flags[i],
                 )
             )
         return subproblems
@@ -329,21 +370,30 @@ class AweAnalyzer:
             raise ApproximationError("ground is identically zero; nothing to approximate")
         row = self.system.index.node(name)
 
+        stats = self.system.stats
         models: list[PoleResidueModel] = []
         diagnostics: list[ComponentApproximation] = []
-        for sub in self.subproblems():
-            model, info = self._approximate_component(
-                sub, row, name, order, error_target,
-                match_initial_slope, use_scaling, error_method, stabilize,
-            )
-            models.append(model)
-            if info is not None:
-                diagnostics.append(info)
+        with stats.timer("wall_time_s"):
+            for sub in self.subproblems():
+                model, info = self._approximate_component(
+                    sub, row, name, order, error_target,
+                    match_initial_slope, use_scaling, error_method, stabilize,
+                )
+                models.append(model)
+                if info is not None:
+                    diagnostics.append(info)
+        stats.add("responses", 1)
         return AweResponse(
             node=name,
             waveform=AweWaveform(tuple(models), baseline=0.0, name=f"v({name})"),
             components=tuple(diagnostics),
         )
+
+    def stats(self) -> dict[str, float]:
+        """Snapshot of the solver instrumentation counters accumulated by
+        this analyzer (and its :class:`~repro.analysis.mna.MnaSystem`) —
+        see :mod:`repro.instrumentation` for field semantics."""
+        return self.system.stats.as_dict()
 
     def _approximate_component(
         self, sub: Subproblem, row: int, node_name: str,
@@ -403,6 +453,7 @@ class AweAnalyzer:
                                       use_scaling, slope_constraint)
                 except (MomentMatrixError, ApproximationError) as exc:
                     escalations.append(f"order {q}: {exc}")
+                    self.system.stats.add("order_escalations", 1)
                     last_failure = exc
                     continue
                 if stabilize and not model.is_stable:
@@ -429,10 +480,12 @@ class AweAnalyzer:
                                   use_scaling, slope_constraint)
             except (MomentMatrixError, ApproximationError) as exc:
                 escalations.append(f"order {q}: {exc}")
+                self.system.stats.add("order_escalations", 1)
                 last_failure = exc
                 continue
             if not model.is_stable:
                 escalations.append(f"order {q}: unstable pole")
+                self.system.stats.add("order_escalations", 1)
                 last_failure = UnstableApproximationError(
                     f"order {q} produced a right-half-plane pole", order=q
                 )
@@ -447,6 +500,7 @@ class AweAnalyzer:
                 escalations.append(
                     f"order {q}: error {estimate:.3g} > target {error_target:g}"
                 )
+                self.system.stats.add("order_escalations", 1)
         if fallback is not None:
             model, q = fallback
             escalations.append(f"returning unverified order {q} fallback")

@@ -71,7 +71,63 @@ class MomentSet:
             else:
                 m = system.solve_augmented(-(system.C @ m))
             vectors.append(m)
+            system.stats.add("moment_solves", 1)
+            system.stats.add("moments_computed", 1)
         return MomentSet(self.initial, tuple(vectors))
+
+
+@dataclasses.dataclass(frozen=True)
+class MomentBatch:
+    """Moment chains of several homogeneous problems, advanced together.
+
+    ``initial`` stacks the problems' initial states as the columns of a
+    ``(dim, k)`` matrix; ``vectors[j]`` is the ``(dim, k)`` matrix whose
+    column ``i`` is moment ``m_j`` of problem ``i``.  Because every chain
+    shares the same ``G`` factorisation, one multi-RHS
+    :meth:`~repro.analysis.mna.MnaSystem.solve_augmented` call per order
+    advances *all* of them — the batched form of the paper's
+    "succession of dc solutions" (Sec. IV).
+
+    :meth:`column` splits one problem back out as an ordinary
+    :class:`MomentSet`; the per-column numbers are identical to what ``k``
+    separate recursions would produce (the LU substitutions are applied
+    column-by-column either way).
+    """
+
+    initial: np.ndarray
+    vectors: tuple[np.ndarray, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of non-negative moment orders available."""
+        return len(self.vectors)
+
+    @property
+    def width(self) -> int:
+        """Number of stacked problems (columns)."""
+        return self.initial.shape[1]
+
+    def extended(self, system: MnaSystem, extra: int) -> "MomentBatch":
+        """Append ``extra`` further moment orders — one shared multi-RHS
+        solve per order regardless of :attr:`width`."""
+        vectors = list(self.vectors)
+        m = vectors[-1] if vectors else None
+        for _ in range(extra):
+            if m is None:
+                m = system.solve_augmented(system.C @ self.initial)
+            else:
+                m = system.solve_augmented(-(system.C @ m))
+            vectors.append(m)
+            system.stats.add("moment_solves", 1)
+            system.stats.add("moments_computed", self.width)
+        return MomentBatch(self.initial, tuple(vectors))
+
+    def column(self, i: int) -> MomentSet:
+        """Problem ``i``'s chain as a standalone :class:`MomentSet`."""
+        return MomentSet(
+            np.ascontiguousarray(self.initial[:, i]),
+            tuple(np.ascontiguousarray(m[:, i]) for m in self.vectors),
+        )
 
 
 def homogeneous_moments(system: MnaSystem, y0: np.ndarray, count: int) -> MomentSet:
@@ -91,6 +147,32 @@ def homogeneous_moments(system: MnaSystem, y0: np.ndarray, count: int) -> Moment
                 "particular solution must absorb floating-group charge"
             )
     return MomentSet(y0, ()).extended(system, count)
+
+
+def homogeneous_moments_batch(
+    system: MnaSystem, y0_columns: np.ndarray, count: int
+) -> MomentBatch:
+    """Moment chains of several homogeneous problems in one batch.
+
+    ``y0_columns`` is ``(dim, k)``; each column is checked for trapped
+    floating-group charge exactly as :func:`homogeneous_moments` checks a
+    single state, then all ``k`` chains are advanced with one multi-RHS
+    solve per order.
+    """
+    y0_columns = np.asarray(y0_columns, dtype=float)
+    if y0_columns.ndim != 2:
+        raise AnalysisError("homogeneous_moments_batch expects column-stacked states")
+    if system.floating_groups:
+        for i in range(y0_columns.shape[1]):
+            y0 = y0_columns[:, i]
+            charges = system.group_charge(y0)
+            scale = float(np.abs(system.C @ y0).max()) + 1e-300
+            if np.any(np.abs(charges) > _CHARGE_TOL * scale):
+                raise AnalysisError(
+                    "homogeneous initial state carries trapped charge; the "
+                    "particular solution must absorb floating-group charge"
+                )
+    return MomentBatch(y0_columns, ()).extended(system, count)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -141,3 +223,51 @@ def particular_solution(
     c1 = system.solve_augmented(b1, charge_c1)
     c0 = system.solve_augmented(b0 - system.C @ c1, group_charges)
     return ParticularSolution(c0, c1)
+
+
+def particular_solutions(
+    system: MnaSystem,
+    u0_columns: np.ndarray,
+    u1_columns: np.ndarray,
+    group_charges: np.ndarray | None = None,
+) -> list[ParticularSolution]:
+    """Particular solutions of ``k`` step+ramp excitations in one batch.
+
+    ``u0_columns`` / ``u1_columns`` are ``(n_sources, k)``;
+    ``group_charges`` is ``(n_groups, k)`` (default zero).  Each column is
+    validated exactly as :func:`particular_solution` validates a single
+    excitation; the ``2k`` linear systems then collapse into **two**
+    multi-RHS triangular-solve calls against the shared factorisation.
+    """
+    u0_columns = np.asarray(u0_columns, dtype=float)
+    u1_columns = np.asarray(u1_columns, dtype=float)
+    if u0_columns.ndim != 2 or u1_columns.shape != u0_columns.shape:
+        raise AnalysisError(
+            "particular_solutions expects matching column-stacked excitations"
+        )
+    b0 = system.B @ u0_columns
+    b1 = system.B @ u1_columns
+
+    charge_c1 = None
+    if system.floating_groups:
+        for i in range(u1_columns.shape[1]):
+            ramp_injection = system.group_injection(u1_columns[:, i])
+            scale = float(np.abs(b1[:, i]).max()) + 1e-300
+            if np.any(np.abs(ramp_injection) > _CHARGE_TOL * scale):
+                raise AnalysisError(
+                    "a ramp source injects current into a floating node group; "
+                    "its charge grows without bound"
+                )
+        charge_c1 = np.column_stack(
+            [system.group_injection(u0_columns[:, i])
+             for i in range(u0_columns.shape[1])]
+        )
+
+    c1 = system.solve_augmented(b1, charge_c1)
+    c0 = system.solve_augmented(b0 - system.C @ c1, group_charges)
+    return [
+        ParticularSolution(
+            np.ascontiguousarray(c0[:, i]), np.ascontiguousarray(c1[:, i])
+        )
+        for i in range(u0_columns.shape[1])
+    ]

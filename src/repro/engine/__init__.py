@@ -1,0 +1,18 @@
+"""Batch analysis engine: job fan-out, analyzer reuse, instrumentation.
+
+This is the throughput layer over the single-circuit
+:class:`~repro.core.driver.AweAnalyzer` — see :mod:`repro.engine.batch`
+for the job/result/engine types and :mod:`repro.instrumentation` for the
+counter semantics surfaced by ``BatchEngine.stats()``.
+"""
+
+from repro.engine.batch import AweJob, BatchEngine, BatchResult
+from repro.instrumentation import SolverStats, format_stats
+
+__all__ = [
+    "AweJob",
+    "BatchEngine",
+    "BatchResult",
+    "SolverStats",
+    "format_stats",
+]

@@ -1,0 +1,367 @@
+"""Batch AWE analysis: many (circuit, stimuli, nodes) jobs, one engine.
+
+The paper's throughput pitch (Sec. IV, Fig. 19) is that AWE reduces each
+net's timing to "a succession of dc solutions" — cheap enough to run on
+thousands of nets.  This module supplies the missing fan-out layer: an
+:class:`AweJob` describes one net's analysis, and :class:`BatchEngine`
+runs many of them with
+
+* **analyzer reuse** — jobs on the same circuit object share one
+  :class:`~repro.core.driver.AweAnalyzer`, so the expensive
+  output-independent work (MNA assembly, LU factorisation, the batched
+  moment recursion) is paid once per distinct circuit, not once per job;
+* **process-pool parallelism** — ``run(jobs, workers=N)`` fans circuit
+  groups out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``workers <= 1`` runs inline with zero IPC overhead);
+* **per-job isolation** — a failing or timed-out job yields a structured
+  failure :class:`BatchResult`; it never aborts the batch;
+* **instrumentation** — per-worker
+  :class:`~repro.instrumentation.SolverStats` are merged into the
+  engine's :meth:`BatchEngine.stats` view (also surfaced by
+  ``python -m repro batch --stats``).
+
+Determinism: the numbers a job produces are independent of ``workers``,
+of how jobs are grouped, and of the order the pool completes them — every
+job runs the same :class:`AweAnalyzer` code path, and results are
+reordered to match the input job order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+
+from repro.analysis.sources import Stimulus
+from repro.circuit.netlist import Circuit
+from repro.core.driver import AweAnalyzer, AweResponse
+from repro.errors import BatchTimeoutError, CircuitError
+from repro.instrumentation import SolverStats
+
+
+@dataclasses.dataclass(frozen=True)
+class AweJob:
+    """One unit of batch work: a circuit, its stimuli, and output nodes.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyse.  Jobs sharing the *same object* share one
+        analyzer (and therefore one factorisation and moment recursion).
+    nodes:
+        Output node name(s); a bare string is promoted to a 1-tuple.
+    stimuli:
+        Source stimuli, as for :class:`~repro.core.driver.AweAnalyzer`.
+    order / error_target / max_order:
+        Forwarded to :meth:`AweAnalyzer.response` / the analyzer.
+    label:
+        Display name in results and reports; defaults to the circuit
+        title plus the node list.
+    response_options:
+        Extra keyword arguments for :meth:`AweAnalyzer.response`
+        (``stabilize``, ``match_initial_slope``, ...).
+    """
+
+    circuit: Circuit
+    nodes: tuple[str, ...]
+    stimuli: dict[str, Stimulus] | None = None
+    order: int | None = None
+    error_target: float = 0.01
+    max_order: int = 8
+    label: str = ""
+    response_options: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        nodes = (self.nodes,) if isinstance(self.nodes, str) else tuple(self.nodes)
+        if not nodes:
+            raise CircuitError("an AweJob needs at least one output node")
+        object.__setattr__(self, "nodes", nodes)
+        if not self.label:
+            title = self.circuit.title if self.circuit is not None else "job"
+            object.__setattr__(self, "label", f"{title} @ {','.join(nodes)}")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one :class:`AweJob` — success or structured failure.
+
+    ``responses`` maps each requested node to its
+    :class:`~repro.core.driver.AweResponse` on success and is ``None`` on
+    failure, in which case ``error``/``error_type`` describe what went
+    wrong (``error_type`` is the exception class name, e.g.
+    ``"BatchTimeoutError"`` for a per-job timeout).
+    """
+
+    index: int
+    label: str
+    responses: dict[str, AweResponse] | None
+    error: str | None = None
+    error_type: str | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _stimuli_key(stimuli: dict[str, Stimulus] | None):
+    """Hashable cache key for a stimuli mapping (stimuli are frozen
+    dataclasses, so their reprs are canonical)."""
+    if stimuli is None:
+        return None
+    return tuple(sorted((name, repr(stim)) for name, stim in stimuli.items()))
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`BatchTimeoutError` if the block runs past ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, so it is preemptive — a job stuck in
+    a long LAPACK call is still interrupted at the next bytecode
+    boundary.  Silently degrades to a no-op where real-time signals are
+    unavailable (non-main thread, non-Unix platforms).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise BatchTimeoutError(f"job exceeded its {seconds:g} s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_group(circuit, entries, timeout):
+    """Run one circuit group's jobs sequentially with analyzer reuse.
+
+    ``entries`` is ``[(job_index, stripped_job), ...]`` where the jobs'
+    ``circuit`` field has been cleared so the (possibly large) circuit
+    pickles once per task instead of once per job.  Returns
+    ``(results, stats_dict, analyzers_built)``.
+    """
+    analyzers: dict = {}
+    results: list[BatchResult] = []
+    for index, job in entries:
+        start = time.perf_counter()
+        try:
+            with _deadline(timeout):
+                key = (_stimuli_key(job.stimuli), job.max_order)
+                analyzer = analyzers.get(key)
+                if analyzer is None:
+                    analyzer = AweAnalyzer(
+                        circuit, job.stimuli, max_order=job.max_order
+                    )
+                    analyzers[key] = analyzer
+                responses = {
+                    node: analyzer.response(
+                        node,
+                        order=job.order,
+                        error_target=job.error_target,
+                        **job.response_options,
+                    )
+                    for node in job.nodes
+                }
+            results.append(
+                BatchResult(
+                    index=index,
+                    label=job.label,
+                    responses=responses,
+                    elapsed_s=time.perf_counter() - start,
+                )
+            )
+        except Exception as exc:
+            results.append(
+                BatchResult(
+                    index=index,
+                    label=job.label,
+                    responses=None,
+                    error="".join(traceback.format_exception_only(exc)).strip(),
+                    error_type=type(exc).__name__,
+                    elapsed_s=time.perf_counter() - start,
+                )
+            )
+    stats = SolverStats()
+    for analyzer in analyzers.values():
+        stats.merge(analyzer.system.stats)
+    return results, stats.as_dict(), len(analyzers)
+
+
+def _pool_task(payload):
+    """Picklable pool entry point."""
+    return _execute_group(*payload)
+
+
+class BatchEngine:
+    """Run many :class:`AweJob`\\ s with analyzer reuse and fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Default parallelism for :meth:`run`.  ``1`` (default) executes
+        inline in the calling process; ``N > 1`` fans circuit groups out
+        over an ``N``-worker process pool.
+    timeout:
+        Default per-job wall-clock timeout in seconds (``None`` = no
+        limit).  A timed-out job becomes a failure record with
+        ``error_type == "BatchTimeoutError"``.
+
+    The engine is reusable; :meth:`stats` accumulates over every
+    :meth:`run` since construction (:meth:`reset_stats` clears it).
+    """
+
+    def __init__(self, workers: int = 1, timeout: float | None = None):
+        self.workers = workers
+        self.timeout = timeout
+        self._solver_stats = SolverStats()
+        self._engine_stats: dict[str, float] = {
+            "jobs": 0,
+            "jobs_failed": 0,
+            "distinct_circuits": 0,
+            "analyzers_built": 0,
+            "runs": 0,
+            "batch_wall_time_s": 0.0,
+        }
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self,
+        jobs,
+        workers: int | None = None,
+        timeout: float | None = None,
+    ) -> list[BatchResult]:
+        """Execute ``jobs`` and return one :class:`BatchResult` per job,
+        in input order.  Failures (including per-job timeouts) are
+        captured as failure records; this method only raises for
+        malformed input, never for a failing job."""
+        jobs = list(jobs)
+        for job in jobs:
+            if not isinstance(job, AweJob):
+                raise CircuitError(f"expected an AweJob, got {type(job).__name__}")
+        if not jobs:
+            return []
+        workers = self.workers if workers is None else workers
+        timeout = self.timeout if timeout is None else timeout
+
+        start = time.perf_counter()
+        groups = self._group_by_circuit(jobs)
+        chunks = self._chunk(groups, workers)
+        if workers <= 1:
+            outcomes = [_execute_group(*chunk, timeout) for chunk in chunks]
+        else:
+            outcomes = self._run_pool(chunks, workers, timeout)
+
+        results: list[BatchResult | None] = [None] * len(jobs)
+        builds = 0
+        for chunk_results, stats_dict, chunk_builds in outcomes:
+            self._solver_stats.merge(stats_dict)
+            builds += chunk_builds
+            for result in chunk_results:
+                results[result.index] = result
+
+        failed = sum(1 for r in results if not r.ok)
+        self._engine_stats["jobs"] += len(jobs)
+        self._engine_stats["jobs_failed"] += failed
+        self._engine_stats["distinct_circuits"] += len(groups)
+        self._engine_stats["analyzers_built"] += builds
+        self._engine_stats["runs"] += 1
+        self._engine_stats["batch_wall_time_s"] += time.perf_counter() - start
+        return results
+
+    def stats(self) -> dict[str, float]:
+        """Engine-level counters plus the merged per-circuit solver
+        instrumentation (see :mod:`repro.instrumentation`)."""
+        out = dict(self._engine_stats)
+        out.update(self._solver_stats.as_dict())
+        return out
+
+    def reset_stats(self) -> None:
+        for key in self._engine_stats:
+            self._engine_stats[key] = 0.0 if key.endswith("_s") else 0
+        self._solver_stats.reset()
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _group_by_circuit(jobs):
+        """Group jobs by circuit *identity*, preserving first-seen order,
+        stripping the circuit out of each job so it pickles once."""
+        groups: dict[int, tuple[Circuit, list]] = {}
+        for index, job in enumerate(jobs):
+            key = id(job.circuit)
+            if key not in groups:
+                groups[key] = (job.circuit, [])
+            groups[key][1].append(
+                (index, dataclasses.replace(job, circuit=None, label=job.label))
+            )
+        return list(groups.values())
+
+    @staticmethod
+    def _chunk(groups, workers):
+        """Split circuit groups into pool tasks.
+
+        One task per group when there are at least as many groups as
+        workers; otherwise each group is split into up to
+        ``ceil(workers / n_groups)`` slices so a few large groups can
+        still use every worker (at the cost of re-analysing the shared
+        circuit once per slice)."""
+        per_group = max(1, -(-max(workers, 1) // len(groups)))
+        chunks = []
+        for circuit, entries in groups:
+            slices = min(per_group, len(entries))
+            size = -(-len(entries) // slices)
+            for at in range(0, len(entries), size):
+                chunks.append((circuit, entries[at:at + size]))
+        return chunks
+
+    @staticmethod
+    def _run_pool(chunks, workers, timeout):
+        """Fan chunks out over a process pool; a crashed worker poisons
+        only its own chunks (each job becomes a failure record)."""
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = None
+        outcomes = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)), mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_pool_task, (circuit, entries, timeout)): entries
+                for circuit, entries in chunks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                entries = futures[future]
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:  # e.g. BrokenProcessPool
+                    failures = [
+                        BatchResult(
+                            index=index,
+                            label=job.label,
+                            responses=None,
+                            error=f"worker died: {exc}",
+                            error_type=type(exc).__name__,
+                        )
+                        for index, job in entries
+                    ]
+                    outcomes.append((failures, {}, 0))
+        return outcomes

@@ -91,3 +91,12 @@ class MomentMatrixError(ApproximationError):
 
 class OrderLimitError(ApproximationError):
     """Automatic order escalation hit its cap without meeting the target."""
+
+
+class BatchTimeoutError(ReproError):
+    """A batch job exceeded its per-job wall-clock timeout.
+
+    Raised inside a :class:`~repro.engine.batch.BatchEngine` worker and
+    captured there into the job's failure record; it never aborts the
+    batch as a whole.
+    """

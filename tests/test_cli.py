@@ -139,3 +139,61 @@ def test_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+DECK_B = """\
+second net
+Vin in 0 STEP(0 5)
+R1 in 1 5k
+C1 1 0 2p
+R2 1 2 1k
+C2 2 0 1p
+.end
+"""
+
+
+class TestBatch:
+    @pytest.fixture
+    def two_decks(self, tmp_path):
+        a = tmp_path / "a.sp"
+        b = tmp_path / "b.sp"
+        a.write_text(DECK)
+        b.write_text(DECK_B)
+        return [str(a), str(b)]
+
+    def test_batch_two_decks(self, two_decks, capsys):
+        assert main(["batch", *two_decks, "--node", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 job(s)" in out
+        assert "cli test net" in out and "second net" in out
+
+    def test_batch_multiple_nodes(self, two_decks, capsys):
+        assert main(["batch", *two_decks, "--node", "1", "--node", "2"]) == 0
+        out = capsys.readouterr().out
+        # Each deck reports each node on its own line.
+        assert out.count(" 1 ") >= 2 and out.count(" 2 ") >= 2
+
+    def test_batch_stats(self, two_decks, capsys):
+        assert main(["batch", *two_decks, "--node", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "solver instrumentation" in out
+        assert "lu_factorizations" in out
+        assert "triangular_solves" in out
+
+    def test_batch_workers(self, two_decks, capsys):
+        assert main(["batch", *two_decks, "--node", "2", "--workers", "2"]) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_batch_failure_isolated(self, two_decks, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("broken deck\nnot an element line\n.end\n")
+        assert main(["batch", two_decks[0], str(bad), "--node", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED [parse]" in out
+        assert "cli test net" in out  # the good deck still ran
+
+    def test_batch_unknown_node_failure(self, two_decks, capsys):
+        assert main(["batch", *two_decks, "--node", "zz"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED [CircuitError]" in out
+        assert "2 of 2 job(s) failed" in out

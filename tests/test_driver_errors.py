@@ -1,0 +1,149 @@
+"""Dedicated tests for the driver's error paths and stabilisation.
+
+Three paths that previously had no direct coverage:
+
+* ``stabilize=True`` — partial Padé: right-half-plane poles from a
+  fixed-order fit are discarded and the surviving residues refit;
+* the trapped-charge :class:`AnalysisError` guard in
+  ``homogeneous_moments`` (and its batched counterpart);
+* the ramp-into-floating-group :class:`AnalysisError` in
+  ``particular_solution`` — both called directly and surfaced through
+  the :class:`AweAnalyzer` decomposition.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AweAnalyzer, Circuit, MnaSystem, Step
+from repro.analysis.sources import Ramp
+from repro.core.moments import (
+    homogeneous_moments,
+    homogeneous_moments_batch,
+    particular_solution,
+    particular_solutions,
+)
+from repro.errors import AnalysisError, UnstableApproximationError
+from repro.papercircuits import rlc_transmission_ladder
+
+
+@pytest.fixture
+def rhp_prone():
+    """A lightly damped RLC ladder whose order-6 Padé fit at the far end
+    produces right-half-plane poles (numerical artefacts of the nearly
+    lossless high-frequency modes)."""
+    circuit = rlc_transmission_ladder(8, r_source=1.0)
+    return AweAnalyzer(circuit, {"Vin": Step(0.0, 1.0)})
+
+
+class TestPartialPadeStabilize:
+    def test_fixed_order_returns_unstable_without_stabilize(self, rhp_prone):
+        response = rhp_prone.response("8", order=6)
+        assert any(p.real >= 0.0 for p in response.poles)
+        assert not response.waveform.is_stable
+
+    def test_stabilize_discards_rhp_poles(self, rhp_prone):
+        response = rhp_prone.response("8", order=6, stabilize=True)
+        assert all(p.real < 0.0 for p in response.poles)
+        assert response.waveform.is_stable
+        # The discard is recorded in the component diagnostics, and the
+        # effective order drops by the number of discarded poles.
+        notes = [
+            note
+            for component in response.components
+            for note in component.escalations
+        ]
+        assert any("right-half-plane" in note for note in notes)
+        assert response.order < 6
+
+    def test_stabilized_waveform_is_evaluable_and_settles(self, rhp_prone):
+        response = rhp_prone.response("8", order=6, stabilize=True)
+        window = response.waveform.suggested_window()
+        values = response.waveform.evaluate(np.linspace(0.0, 10 * window, 400))
+        assert np.all(np.isfinite(values))
+        assert values[-1] == pytest.approx(response.waveform.final_value(), rel=1e-3)
+
+    def test_all_poles_unstable_raises(self):
+        """When nothing stable survives, partial Padé must refuse rather
+        than return an empty model."""
+        from repro.core.driver import _partial_pade
+        from repro.core.model import PoleResidueModel
+
+        model = PoleResidueModel(
+            ((complex(2.0, 0.0), 1, complex(1.0, 0.0)),),
+            offset=0.0, slope=0.0, t0=0.0, name="all-rhp",
+        )
+        with pytest.raises(UnstableApproximationError):
+            _partial_pade(model, np.array([1.0, -0.5]), None)
+
+
+class TestTrappedChargeGuard:
+    def test_homogeneous_moments_rejects_trapped_charge(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        # A state holding the floating node at 1 V traps charge in the
+        # capacitive island; the homogeneous recursion must refuse it.
+        y0 = np.zeros(system.dimension)
+        y0[system.index.node("f")] = 1.0
+        with pytest.raises(AnalysisError, match="trapped charge"):
+            homogeneous_moments(system, y0, 3)
+
+    def test_batched_recursion_applies_same_guard(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        good = np.zeros(system.dimension)
+        bad = np.zeros(system.dimension)
+        bad[system.index.node("f")] = 1.0
+        with pytest.raises(AnalysisError, match="trapped charge"):
+            homogeneous_moments_batch(system, np.column_stack([good, bad]), 3)
+
+    def test_chargeless_state_accepted(self, floating_node_circuit):
+        system = MnaSystem(floating_node_circuit)
+        # The charge-conserving release computed by the analyzer itself.
+        analyzer = AweAnalyzer(floating_node_circuit, {"Vin": Step(0.0, 5.0)})
+        assert analyzer.subproblems()[0].moments.count > 0
+
+
+@pytest.fixture
+def ramp_fed_floating() -> Circuit:
+    """A current source ramping into a node group reachable only through
+    capacitors: its trapped charge grows linearly, so no linear
+    particular solution exists."""
+    ckt = Circuit("ramp into floating group")
+    ckt.add_voltage_source("Vin", "in", "0")
+    ckt.add_resistor("R1", "in", "1", 1e3)
+    ckt.add_capacitor("C1", "1", "0", 1e-12)
+    ckt.add_capacitor("Cc", "1", "f", 0.5e-12)
+    ckt.add_capacitor("Cf", "f", "0", 2e-12)
+    ckt.add_current_source("Iagg", "0", "f")
+    return ckt
+
+
+class TestRampIntoFloatingGroup:
+    def test_particular_solution_raises(self, ramp_fed_floating):
+        system = MnaSystem(ramp_fed_floating)
+        u1 = np.zeros(system.index.source_count)
+        u1[system.index.source("Iagg")] = 1e-3  # A/s into the island
+        with pytest.raises(AnalysisError, match="floating node group"):
+            particular_solution(system, np.zeros_like(u1), u1)
+
+    def test_batched_particular_solutions_raise(self, ramp_fed_floating):
+        system = MnaSystem(ramp_fed_floating)
+        n = system.index.source_count
+        u1s = np.zeros((n, 2))
+        u1s[system.index.source("Iagg"), 1] = 1e-3
+        with pytest.raises(AnalysisError, match="floating node group"):
+            particular_solutions(system, np.zeros((n, 2)), u1s)
+
+    def test_driver_surfaces_the_error(self, ramp_fed_floating):
+        analyzer = AweAnalyzer(
+            ramp_fed_floating,
+            {"Iagg": Ramp(0.0, 1e-3, rise_time=1e-9)},
+        )
+        with pytest.raises(AnalysisError, match="floating node group"):
+            analyzer.subproblems()
+
+    def test_step_into_floating_group_is_fine(self, ramp_fed_floating):
+        """A *step* of charge injection is also unphysical at DC, but a
+        pure voltage step elsewhere is fine — the guard must only fire
+        for ramp injection into the island."""
+        analyzer = AweAnalyzer(ramp_fed_floating, {"Vin": Step(0.0, 5.0)})
+        response = analyzer.response("f", order=2)
+        assert np.isfinite(response.waveform.final_value())

@@ -1,0 +1,205 @@
+"""Tests for the batch analysis engine (`repro.engine.batch`).
+
+Covers the batch-vs-sequential contract (identical numbers, any worker
+count), analyzer reuse across jobs on the same circuit, structured
+failure records (a bad job never kills the batch), preemptive per-job
+timeouts, and the instrumentation counters that make the multi-RHS
+moment recursion observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AweAnalyzer,
+    AweJob,
+    BatchEngine,
+    Circuit,
+    Step,
+)
+from repro.engine import BatchResult
+from repro.errors import CircuitError
+from repro.papercircuits import random_rc_tree, rc_mesh
+
+STIM = {"Vin": Step(0.0, 5.0)}
+
+
+def sequential_responses(jobs):
+    """The pre-engine way: one fresh analyzer per job."""
+    out = []
+    for job in jobs:
+        analyzer = AweAnalyzer(job.circuit, job.stimuli, max_order=job.max_order)
+        out.append(
+            {
+                node: analyzer.response(
+                    node, order=job.order, error_target=job.error_target
+                )
+                for node in job.nodes
+            }
+        )
+    return out
+
+
+def assert_bit_identical(reference, result: BatchResult, times):
+    assert result.ok, result.error
+    assert set(result.responses) == set(reference)
+    for node, response in result.responses.items():
+        expected = reference[node]
+        assert np.array_equal(expected.poles, response.poles)
+        assert np.array_equal(
+            expected.waveform.evaluate(times), response.waveform.evaluate(times)
+        )
+        assert expected.order == response.order
+
+
+class TestAweJob:
+    def test_string_node_promoted(self):
+        job = AweJob(random_rc_tree(3, seed=0), "2", stimuli=STIM)
+        assert job.nodes == ("2",)
+
+    def test_default_label(self):
+        job = AweJob(random_rc_tree(3, seed=0), ("1", "2"), stimuli=STIM)
+        assert "random RC tree" in job.label and "1,2" in job.label
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(CircuitError):
+            AweJob(random_rc_tree(3, seed=0), (), stimuli=STIM)
+
+
+class TestBatchEngineResults:
+    def test_empty_run(self):
+        assert BatchEngine().run([]) == []
+
+    def test_rejects_non_jobs(self):
+        with pytest.raises(CircuitError):
+            BatchEngine().run(["not a job"])
+
+    def test_matches_sequential_inline(self):
+        circuits = [random_rc_tree(12, seed=s) for s in range(4)]
+        jobs = [
+            AweJob(c, (str(n),), stimuli=STIM, order=2)
+            for c in circuits
+            for n in (8, 12)
+        ]
+        reference = sequential_responses(jobs)
+        results = BatchEngine().run(jobs, workers=1)
+        times = np.linspace(0.0, 10e-9, 100)
+        for expected, result in zip(reference, results):
+            assert_bit_identical(expected, result, times)
+
+    def test_matches_sequential_process_pool(self):
+        circuits = [random_rc_tree(12, seed=s) for s in range(3)]
+        jobs = [
+            AweJob(c, (str(n),), stimuli=STIM, order=2)
+            for c in circuits
+            for n in (6, 12)
+        ]
+        reference = sequential_responses(jobs)
+        results = BatchEngine(workers=3).run(jobs)
+        times = np.linspace(0.0, 10e-9, 100)
+        for expected, result in zip(reference, results):
+            assert_bit_identical(expected, result, times)
+
+    def test_results_in_input_order(self):
+        a, b = random_rc_tree(6, seed=1), random_rc_tree(6, seed=2)
+        # Interleave circuits so grouping must reorder internally.
+        jobs = [
+            AweJob(a, ("6",), stimuli=STIM, order=1, label="a0"),
+            AweJob(b, ("6",), stimuli=STIM, order=1, label="b0"),
+            AweJob(a, ("5",), stimuli=STIM, order=1, label="a1"),
+            AweJob(b, ("5",), stimuli=STIM, order=1, label="b1"),
+        ]
+        results = BatchEngine().run(jobs)
+        assert [r.label for r in results] == ["a0", "b0", "a1", "b1"]
+        assert [r.index for r in results] == [0, 1, 2, 3]
+
+
+class TestFailureIsolation:
+    def test_bad_node_yields_failure_record(self):
+        good = AweJob(random_rc_tree(5, seed=3), ("5",), stimuli=STIM, order=1)
+        bad = AweJob(random_rc_tree(5, seed=4), ("nope",), stimuli=STIM)
+        results = BatchEngine().run([bad, good])
+        assert not results[0].ok
+        assert results[0].error_type == "CircuitError"
+        assert "nope" in results[0].error
+        assert results[0].responses is None
+        assert results[1].ok
+
+    def test_singular_circuit_yields_failure_record(self):
+        floating = Circuit("no ground path")
+        floating.add_voltage_source("Vin", "in", "0")
+        floating.add_resistor("R1", "in", "1", 1e3)
+        floating.add_capacitor("C1", "1", "0", 1e-12)
+        floating.add_resistor("Rdangling", "2", "3", 1e3)  # island
+        good = AweJob(random_rc_tree(5, seed=5), ("5",), stimuli=STIM, order=1)
+        results = BatchEngine().run(
+            [AweJob(floating, ("1",), stimuli=STIM), good]
+        )
+        assert not results[0].ok and results[1].ok
+        assert results[0].error_type in ("SingularCircuitError", "CircuitError")
+
+    def test_failure_isolated_in_process_pool(self):
+        good = AweJob(random_rc_tree(5, seed=3), ("5",), stimuli=STIM, order=1)
+        bad = AweJob(random_rc_tree(5, seed=4), ("nope",), stimuli=STIM)
+        results = BatchEngine(workers=2).run([bad, good])
+        assert not results[0].ok and results[0].error_type == "CircuitError"
+        assert results[1].ok
+
+
+class TestTimeout:
+    def test_per_job_timeout_becomes_failure_record(self):
+        big = rc_mesh(20, 20)  # ~400 unknowns: analysis takes ≫ 20 ms
+        fast = AweJob(random_rc_tree(4, seed=0), ("4",), stimuli=STIM, order=1)
+        slow = AweJob(big, ("n19_19",), stimuli=STIM, order=4)
+        results = BatchEngine().run([slow, fast], timeout=0.02)
+        assert not results[0].ok
+        assert results[0].error_type == "BatchTimeoutError"
+        assert "timeout" in results[0].error
+        # The fast job still completes (a few ms of analysis).
+        assert results[1].ok
+
+    def test_timeout_in_process_pool(self):
+        big = rc_mesh(20, 20)
+        results = BatchEngine(workers=2).run(
+            [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=0.02
+        )
+        assert not results[0].ok
+        assert results[0].error_type == "BatchTimeoutError"
+
+
+class TestInstrumentation:
+    def test_analyzer_reuse_per_distinct_circuit(self):
+        circuit = random_rc_tree(10, seed=7)
+        other = random_rc_tree(10, seed=8)
+        jobs = [
+            AweJob(circuit, (str(n),), stimuli=STIM, order=2) for n in (4, 7, 10)
+        ] + [AweJob(other, ("10",), stimuli=STIM, order=2)]
+        engine = BatchEngine()
+        results = engine.run(jobs)
+        assert all(r.ok for r in results)
+        stats = engine.stats()
+        assert stats["jobs"] == 4
+        assert stats["jobs_failed"] == 0
+        assert stats["distinct_circuits"] == 2
+        # One analyzer (and one LU factorisation) per distinct circuit,
+        # not per job — the amortisation the batch engine exists for.
+        assert stats["analyzers_built"] == 2
+        assert stats["lu_factorizations"] == 2
+        assert stats["responses"] == 4
+
+    def test_stats_merged_from_pool_workers(self):
+        circuits = [random_rc_tree(8, seed=s) for s in range(3)]
+        engine = BatchEngine(workers=3)
+        engine.run([AweJob(c, ("8",), stimuli=STIM, order=1) for c in circuits])
+        stats = engine.stats()
+        assert stats["lu_factorizations"] == 3
+        assert stats["responses"] == 3
+        assert stats["moment_solves"] > 0
+        assert stats["batch_wall_time_s"] > 0.0
+
+    def test_reset_stats(self):
+        engine = BatchEngine()
+        engine.run([AweJob(random_rc_tree(4, seed=1), ("4",), stimuli=STIM, order=1)])
+        engine.reset_stats()
+        assert engine.stats()["jobs"] == 0
+        assert engine.stats()["lu_factorizations"] == 0
