@@ -68,6 +68,8 @@ from repro.errors import (
     UnstableApproximationError,
 )
 from repro.instrumentation import SolverStats
+from repro.report import build_report, render_markdown, validate_report
+from repro.trace import NULL_TRACER, Tracer
 from repro.waveform import Waveform, l2_error
 
 __version__ = "1.0.0"
@@ -90,6 +92,7 @@ __all__ = [
     "Inductor",
     "MnaSystem",
     "MomentMatrixError",
+    "NULL_TRACER",
     "NetlistParseError",
     "OrderLimitError",
     "PWL",
@@ -103,14 +106,18 @@ __all__ = [
     "Step",
     "Stimulus",
     "TopologyError",
+    "Tracer",
     "UnstableApproximationError",
     "VoltageSource",
     "Waveform",
     "awe_response",
+    "build_report",
     "circuit_poles",
     "l2_error",
     "parse_netlist",
     "parse_netlist_file",
+    "render_markdown",
     "simulate",
+    "validate_report",
     "__version__",
 ]

@@ -57,6 +57,7 @@ from repro.circuit.elements import (
 from repro.circuit.netlist import Circuit
 from repro.errors import CircuitError, SingularCircuitError
 from repro.instrumentation import SolverStats
+from repro.trace import NULL_TRACER
 
 
 @dataclasses.dataclass(frozen=True)
@@ -157,22 +158,39 @@ class MnaSystem:
         ≥ 192 (extracted nets are >99 % structurally sparse, and the
         moment recursion is nothing but repeated solves with this one
         factorisation — paper Sec. 3.2).
+    tracer:
+        A :class:`~repro.trace.Tracer` to record the ``mna_assembly`` /
+        ``lu`` spans and the ``backend_selected`` event into; defaults to
+        the no-op :data:`~repro.trace.NULL_TRACER`.
     """
 
-    def __init__(self, circuit: Circuit, sparse: bool | None = None):
+    def __init__(
+        self,
+        circuit: Circuit,
+        sparse: bool | None = None,
+        tracer=None,
+    ):
         self.circuit = circuit
-        self.index = _build_indexing(circuit)
-        self.G, self.C, self.B = _stamp(circuit, self.index)
-        self.floating_groups = _find_floating_groups(circuit, self.index)
-        self.charge_rows = tuple(group[0] for group in self.floating_groups)
-        self.G_aug = self._augment_for_charge()
+        self.stats = SolverStats()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        with self.tracer.span("mna_assembly", elements=len(circuit)):
+            self.index = _build_indexing(circuit)
+            self.G, self.C, self.B = _stamp(circuit, self.index)
+            self.floating_groups = _find_floating_groups(circuit, self.index)
+            self.charge_rows = tuple(group[0] for group in self.floating_groups)
+            self.G_aug = self._augment_for_charge()
         self.use_sparse = (
             sparse
             if sparse is not None
             else self.index.dimension >= _SPARSE_THRESHOLD
         )
+        self.tracer.event(
+            "backend_selected",
+            backend="sparse" if self.use_sparse else "dense",
+            dimension=self.index.dimension,
+            forced=sparse is not None,
+        )
         self._lu = None
-        self.stats = SolverStats()
 
     # -- assembly ------------------------------------------------------
 
@@ -200,9 +218,11 @@ class MnaSystem:
         depending on :attr:`use_sparse`; callers should prefer
         :meth:`solve_augmented`, which dispatches."""
         if self._lu is None:
-            with self.stats.timer("factor_time_s"):
-                self._lu = self._factorise()
-            self.stats.add("lu_factorizations", 1)
+            with self.tracer.span("lu", stats=self.stats,
+                                  dimension=self.index.dimension):
+                with self.stats.timer("factor_time_s"):
+                    self._lu = self._factorise()
+                self.stats.add("lu_factorizations", 1)
         return self._lu
 
     def _factorise(self):

@@ -1,10 +1,15 @@
 """Command-line interface: deck in, timing/pole/waveform report out.
 
-Installed as ``python -m repro``.  Three subcommands:
+Installed as ``python -m repro``.  The subcommands:
 
 ``report``
-    AWE timing report for one or more nodes: order (fixed or automatic),
-    poles, error estimate, final value, 50 %/threshold delays.
+    AWE timing report for one or more decks and nodes: order (fixed or
+    automatic), poles, error estimate, final value, 50 %/threshold
+    delays.  With ``--json`` / ``--markdown`` it runs the decks through
+    the batch engine with tracing on and emits the machine-readable run
+    report and/or the human-readable Markdown report (per-phase wall
+    time, pole/residue tables, order-escalation trajectory — see
+    ``docs/observability.md``); ``-`` writes to stdout.
 
 ``poles``
     Exact natural frequencies of the deck (the reference AWE approximates)
@@ -25,6 +30,7 @@ Installed as ``python -m repro``.  Three subcommands:
 Examples::
 
     python -m repro report net.sp --node out --target 0.01 --threshold 2.5
+    python -m repro report net1.sp net2.sp --node out --json run.json --markdown run.md
     python -m repro poles net.sp --order 2 --node out --source Vin
     python -m repro simulate net.sp --node out --t-stop 5e-9 --csv out.csv
     python -m repro batch net1.sp net2.sp --node out --workers 4 --stats
@@ -55,10 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    report = commands.add_parser("report", help="AWE timing report")
-    report.add_argument("deck", help="SPICE-style netlist file")
+    report = commands.add_parser("report", help="AWE timing / run report")
+    report.add_argument("decks", nargs="+", metavar="deck",
+                        help="SPICE-style netlist file(s)")
     report.add_argument("--node", action="append", required=True,
-                        help="output node (repeatable)")
+                        help="output node, applied to every deck (repeatable)")
     group = report.add_mutually_exclusive_group()
     group.add_argument("--order", type=int, help="fixed AWE order")
     group.add_argument("--target", type=float, default=0.01,
@@ -66,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--threshold", type=float,
                         help="logic threshold for an extra delay column (V)")
     report.add_argument("--max-order", type=int, default=8)
+    report.add_argument("--workers", type=int, default=1,
+                        help="process-pool width (default 1 = in-process)")
+    report.add_argument("--timeout", type=float,
+                        help="per-job wall-clock timeout in seconds")
+    report.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable run report "
+                             "(schema repro.run-report/1) here; '-' = stdout")
+    report.add_argument("--markdown", metavar="PATH",
+                        help="write the human-readable Markdown run report "
+                             "here; '-' = stdout")
 
     poles = commands.add_parser("poles", help="exact (and AWE) poles")
     poles.add_argument("deck")
@@ -119,32 +136,100 @@ def _load(deck_path: str):
     return deck
 
 
+def _write_text(target: str, text: str) -> None:
+    """Write ``text`` to a path, or to stdout when the path is ``-``."""
+    if target == "-":
+        sys.stdout.write(text)
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {target}", file=sys.stderr)
+
+
 def cmd_report(args) -> int:
-    deck = _load(args.deck)
-    analyzer = AweAnalyzer(deck.circuit, deck.stimuli, max_order=args.max_order)
+    import json
+    import time
+
+    from repro.engine import AweJob, BatchEngine
+    from repro.report import build_report, render_markdown, validate_report
+
+    # Document mode emits machine/human reports; the classic text table is
+    # reserved for plain invocations so `--json -` stays valid JSON.
+    document_mode = args.json is not None or args.markdown is not None
+
+    jobs = []
+    parse_seconds: dict[str, float] = {}
+    for path in args.decks:
+        started = time.perf_counter()
+        deck = parse_netlist_file(path) if document_mode else _load(path)
+        label = deck.title or path
+        parse_seconds[label] = (
+            parse_seconds.get(label, 0.0) + time.perf_counter() - started
+        )
+        jobs.append(
+            AweJob(
+                deck.circuit,
+                tuple(args.node),
+                stimuli=deck.stimuli,
+                order=args.order,
+                error_target=args.target,
+                max_order=args.max_order,
+                label=label,
+            )
+        )
+
+    engine = BatchEngine(workers=args.workers, timeout=args.timeout)
+    results = engine.run(jobs, trace=document_mode)
+    failures = [result for result in results if not result.ok]
+
+    if document_mode:
+        document = validate_report(
+            build_report(
+                results,
+                engine_stats=engine.stats(),
+                parse_seconds=parse_seconds,
+                threshold=args.threshold,
+            )
+        )
+        if args.json is not None:
+            _write_text(args.json, json.dumps(document, indent=2) + "\n")
+        if args.markdown is not None:
+            _write_text(args.markdown, render_markdown(document))
+        for result in failures:
+            print(f"error: {result.label}: [{result.error_type}] {result.error}",
+                  file=sys.stderr)
+        return 1 if failures else 0
+
     header = f"  {'node':<8} {'order':>5} {'estimate':>9} {'final':>9} {'50% delay':>11}"
     if args.threshold is not None:
         header += f" {'thr delay':>11}"
-    print("\nAWE timing report:")
-    print(header)
-    for node in args.node:
-        response = analyzer.response(
-            node, order=args.order, error_target=args.target
-        )
-        estimate = response.error_estimate
-        estimate_text = f"{estimate:.3%}" if estimate is not None and np.isfinite(estimate) else "n/a"
-        final = response.waveform.final_value()
-        initial = float(response.waveform.evaluate(0.0))
-        if abs(final - initial) < 1e-6 * max(abs(final), abs(initial), 1.0):
-            delay_text = "n/a"  # no net transition (e.g. a victim node)
-        else:
-            delay_text = fmt(response.delay_50(), "s")
-        line = (f"  {node:<8} {response.order:>5} {estimate_text:>9} "
-                f"{final:>8.4f}V {delay_text:>11}")
-        if args.threshold is not None:
-            line += f" {fmt(response.delay(args.threshold), 's'):>11}"
-        print(line)
-    return 0
+    for result in results:
+        if not result.ok:
+            continue
+        title = ("AWE timing report:" if len(results) == 1
+                 else f"AWE timing report: {result.label}")
+        print(f"\n{title}")
+        print(header)
+        for node, response in result.responses.items():
+            estimate = response.error_estimate
+            estimate_text = (f"{estimate:.3%}"
+                             if estimate is not None and np.isfinite(estimate)
+                             else "n/a")
+            final = response.waveform.final_value()
+            initial = float(response.waveform.evaluate(0.0))
+            if abs(final - initial) < 1e-6 * max(abs(final), abs(initial), 1.0):
+                delay_text = "n/a"  # no net transition (e.g. a victim node)
+            else:
+                delay_text = fmt(response.delay_50(), "s")
+            line = (f"  {node:<8} {response.order:>5} {estimate_text:>9} "
+                    f"{final:>8.4f}V {delay_text:>11}")
+            if args.threshold is not None:
+                line += f" {fmt(response.delay(args.threshold), 's'):>11}"
+            print(line)
+    for result in failures:
+        print(f"error: {result.label}: [{result.error_type}] {result.error}",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_poles(args) -> int:

@@ -48,7 +48,7 @@ from repro.analysis.sources import Stimulus, complete_stimuli
 from repro.circuit.elements import GROUND, canonical_node
 from repro.circuit.netlist import Circuit
 from repro.circuit.validation import validate_for_analysis
-from repro.core.error import cauchy_relative_error, relative_error
+from repro.core.error import ESTIMATORS
 from repro.core.model import AweWaveform, PoleResidueModel
 from repro.core.moments import (
     MomentSet,
@@ -64,6 +64,7 @@ from repro.errors import (
     OrderLimitError,
     UnstableApproximationError,
 )
+from repro.trace import NULL_TRACER
 
 #: Homogeneous states smaller than this (relative to the particular scale)
 #: are treated as "already at steady state" — no transient model is built.
@@ -164,6 +165,11 @@ class AweAnalyzer:
         Factorisation backend override, forwarded to
         :class:`~repro.analysis.mna.MnaSystem` (``None`` auto-selects by
         dimension).
+    tracer:
+        A :class:`~repro.trace.Tracer` recording the span hierarchy and
+        the escalation/stabilisation events of every :meth:`response`
+        (see ``docs/observability.md``); defaults to the no-op
+        :data:`~repro.trace.NULL_TRACER`.
     """
 
     def __init__(
@@ -172,15 +178,28 @@ class AweAnalyzer:
         stimuli: dict[str, Stimulus] | None = None,
         max_order: int = 8,
         sparse: bool | None = None,
+        tracer=None,
     ):
         validate_for_analysis(circuit)
         self.circuit = circuit
         self.max_order = max_order
-        self.system = MnaSystem(circuit, sparse=sparse)
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.system = MnaSystem(circuit, sparse=sparse, tracer=self.tracer)
         self.source_order = list(self.system.index.source_names)
         self.stimuli = complete_stimuli(circuit, stimuli or {}, self.source_order)
         self._subproblems: list[Subproblem] | None = None
         self.baseline = 0.0
+
+    def use_tracer(self, tracer) -> None:
+        """Swap the attached tracer (``None`` detaches → no-op tracer).
+
+        The batch engine reuses one analyzer across jobs but wants one
+        trace *per job*; it calls this between jobs.  Spans for work that
+        already happened (assembly, LU, the shared moment recursion) stay
+        in the trace of the job that first triggered them.
+        """
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.system.tracer = self.tracer
 
     # -- decomposition ---------------------------------------------------
 
@@ -228,68 +247,80 @@ class AweAnalyzer:
         # nonequilibrium charge live in the same homogeneous problem, as in
         # the paper's combined x_h(0).
         u0_main = u_pre + step0
-        storage0 = resolve_initial_storage_state(
-            system, dict(zip(self.source_order, u_pre))
-        )
-        u0_dict = dict(zip(self.source_order, u0_main))
-        x0, rates = initial_operating_point(
-            circuit, system, storage0, u0_dict, with_rates=True
-        )
-        charges = system.group_charge(x0) if system.floating_groups else None
-
-        #: (label, t0, u0, u1, x_initial, slope_reference, group_charges)
-        specs: list[tuple] = [
-            ("main", 0.0, u0_main, slope0, x0,
-             self._state_rates_by_node(rates, storage0), charges)
-        ]
-
-        # Later events: zero-state step+ramp responses superposed with a
-        # time shift (paper Sec. 4.3 / Fig. 13).
-        zero_storage = StorageState(
-            {cap.name: 0.0 for cap in circuit.capacitors},
-            {ind.name: 0.0 for ind in circuit.inductors},
-        )
-        for t_e in sorted(events_by_time):
-            u_step, u_slope = events_by_time[t_e]
-            if not np.any(u_step) and not np.any(u_slope):
-                continue
-            u_jump = {name: float(u_step[k]) for k, name in enumerate(self.source_order)}
-            x_jump, jump_rates = initial_operating_point(
-                circuit, system, zero_storage, u_jump, with_rates=True
+        with self.tracer.span("operating_points", stats=system.stats):
+            storage0 = resolve_initial_storage_state(
+                system, dict(zip(self.source_order, u_pre))
             )
-            specs.append(
-                (f"event@{t_e:g}", t_e, u_step, u_slope, x_jump,
-                 self._state_rates_by_node(jump_rates, zero_storage), None)
+            u0_dict = dict(zip(self.source_order, u0_main))
+            x0, rates = initial_operating_point(
+                circuit, system, storage0, u0_dict, with_rates=True
+            )
+            charges = system.group_charge(x0) if system.floating_groups else None
+            if charges is not None:
+                self.tracer.event(
+                    "trapped_charge_resolved",
+                    groups=len(system.floating_groups),
+                    charges=[float(q) for q in charges],
+                )
+
+            #: (label, t0, u0, u1, x_initial, slope_reference, group_charges)
+            specs: list[tuple] = [
+                ("main", 0.0, u0_main, slope0, x0,
+                 self._state_rates_by_node(rates, storage0), charges)
+            ]
+
+            # Later events: zero-state step+ramp responses superposed with
+            # a time shift (paper Sec. 4.3 / Fig. 13).
+            zero_storage = StorageState(
+                {cap.name: 0.0 for cap in circuit.capacitors},
+                {ind.name: 0.0 for ind in circuit.inductors},
+            )
+            for t_e in sorted(events_by_time):
+                u_step, u_slope = events_by_time[t_e]
+                if not np.any(u_step) and not np.any(u_slope):
+                    continue
+                u_jump = {name: float(u_step[k]) for k, name in enumerate(self.source_order)}
+                x_jump, jump_rates = initial_operating_point(
+                    circuit, system, zero_storage, u_jump, with_rates=True
+                )
+                specs.append(
+                    (f"event@{t_e:g}", t_e, u_step, u_slope, x_jump,
+                     self._state_rates_by_node(jump_rates, zero_storage), None)
+                )
+
+        with self.tracer.span("moment_recursion", stats=system.stats,
+                              orders=count) as moment_span:
+            # Phase 2 — all particular solutions in two multi-RHS solves.
+            group_charge_columns = None
+            if system.floating_groups:
+                n_groups = len(system.floating_groups)
+                group_charge_columns = np.column_stack(
+                    [np.zeros(n_groups) if spec[6] is None else spec[6] for spec in specs]
+                )
+            particulars = particular_solutions(
+                system,
+                np.column_stack([spec[2] for spec in specs]),
+                np.column_stack([spec[3] for spec in specs]),
+                group_charge_columns,
             )
 
-        # Phase 2 — all particular solutions in two multi-RHS solves.
-        group_charge_columns = None
-        if system.floating_groups:
-            n_groups = len(system.floating_groups)
-            group_charge_columns = np.column_stack(
-                [np.zeros(n_groups) if spec[6] is None else spec[6] for spec in specs]
-            )
-        particulars = particular_solutions(
-            system,
-            np.column_stack([spec[2] for spec in specs]),
-            np.column_stack([spec[3] for spec in specs]),
-            group_charge_columns,
-        )
-
-        # Phase 3 — one shared moment recursion for every non-trivial
-        # subproblem: the chains advance together, one triangular-solve
-        # call per order no matter how many subproblems there are.
-        y0s = [spec[4] - particular.c0 for spec, particular in zip(specs, particulars)]
-        trivial_flags = [
-            _is_negligible(y0, spec[4], particular.c0)
-            for y0, spec, particular in zip(y0s, specs, particulars)
-        ]
-        active = [i for i, trivial in enumerate(trivial_flags) if not trivial]
-        batch = None
-        if active:
-            batch = homogeneous_moments_batch(
-                system, np.column_stack([y0s[i] for i in active]), count
-            )
+            # Phase 3 — one shared moment recursion for every non-trivial
+            # subproblem: the chains advance together, one triangular-solve
+            # call per order no matter how many subproblems there are.
+            y0s = [spec[4] - particular.c0 for spec, particular in zip(specs, particulars)]
+            trivial_flags = [
+                _is_negligible(y0, spec[4], particular.c0)
+                for y0, spec, particular in zip(y0s, specs, particulars)
+            ]
+            active = [i for i, trivial in enumerate(trivial_flags) if not trivial]
+            batch = None
+            if active:
+                batch = homogeneous_moments_batch(
+                    system, np.column_stack([y0s[i] for i in active]), count
+                )
+            if moment_span is not None:
+                moment_span.meta["subproblems"] = len(specs)
+                moment_span.meta["active_chains"] = len(active)
 
         subproblems: list[Subproblem] = []
         for i, (spec, particular) in enumerate(zip(specs, particulars)):
@@ -370,22 +401,32 @@ class AweAnalyzer:
             raise ApproximationError("ground is identically zero; nothing to approximate")
         row = self.system.index.node(name)
 
+        # Build the shared subproblems (and their trace spans) before the
+        # per-response span opens, so decomposition cost is attributed to
+        # the pipeline, not to whichever output happened to come first.
+        subproblems = self.subproblems()
+
         stats = self.system.stats
         models: list[PoleResidueModel] = []
         diagnostics: list[ComponentApproximation] = []
-        with stats.timer("wall_time_s"):
-            for sub in self.subproblems():
-                model, info = self._approximate_component(
-                    sub, row, name, order, error_target,
-                    match_initial_slope, use_scaling, error_method, stabilize,
+        with self.tracer.span("response", stats=stats, node=name):
+            with stats.timer("wall_time_s"):
+                for sub in subproblems:
+                    model, info = self._approximate_component(
+                        sub, row, name, order, error_target,
+                        match_initial_slope, use_scaling, error_method, stabilize,
+                    )
+                    models.append(model)
+                    if info is not None:
+                        diagnostics.append(info)
+            stats.add("responses", 1)
+            with self.tracer.span("waveform", node=name):
+                waveform = AweWaveform(
+                    tuple(models), baseline=0.0, name=f"v({name})"
                 )
-                models.append(model)
-                if info is not None:
-                    diagnostics.append(info)
-        stats.add("responses", 1)
         return AweResponse(
             node=name,
-            waveform=AweWaveform(tuple(models), baseline=0.0, name=f"v({name})"),
+            waveform=waveform,
             components=tuple(diagnostics),
         )
 
@@ -425,14 +466,47 @@ class AweAnalyzer:
             # Homogeneous initial slope = total initial slope − particular slope.
             slope_constraint = sub.slope_reference[node_name] - slope
 
-        estimator = relative_error if error_method == "exact" else cauchy_relative_error
-        if error_method not in ("exact", "cauchy"):
-            raise ApproximationError(f"unknown error method {error_method!r}")
+        try:
+            estimator = ESTIMATORS[error_method]
+        except KeyError:
+            raise ApproximationError(f"unknown error method {error_method!r}") from None
 
+        with self.tracer.span("pade_escalation", subproblem=sub.label,
+                              node=node_name):
+            return self._escalate(
+                sub, row, node_name, sequence, offset, slope, order,
+                error_target, use_scaling, estimator, stabilize,
+                slope_constraint,
+            )
+
+    def _escalate(
+        self, sub: Subproblem, row: int, node_name: str, sequence, offset,
+        slope, order, error_target, use_scaling, estimator, stabilize,
+        slope_constraint,
+    ):
+        """The order-selection loops (fixed and automatic), instrumented:
+        every rejected order emits an ``order_escalation`` trace event
+        carrying its error estimate when one was computable."""
+        tracer = self.tracer
         escalations: list[str] = []
         last_failure: Exception | None = None
 
-        def accept(model: PoleResidueModel, q: int, estimate):
+        def escalated(q: int, reason: str, estimate=None, target=None) -> None:
+            self.system.stats.add("order_escalations", 1)
+            tracer.event(
+                "order_escalation", subproblem=sub.label, node=node_name,
+                order=q, reason=reason,
+                error_estimate=None if estimate is None else float(estimate),
+                target=target,
+            )
+
+        def accept(model: PoleResidueModel, q: int, estimate, fallback=False):
+            tracer.event(
+                "order_accepted", subproblem=sub.label, node=node_name,
+                order=q,
+                error_estimate=None if estimate is None else float(estimate),
+                fallback=fallback,
+            )
             info = ComponentApproximation(
                 label=sub.label, order=q, poles=model.poles,
                 error_estimate=estimate,
@@ -453,13 +527,17 @@ class AweAnalyzer:
                                       use_scaling, slope_constraint)
                 except (MomentMatrixError, ApproximationError) as exc:
                     escalations.append(f"order {q}: {exc}")
-                    self.system.stats.add("order_escalations", 1)
+                    escalated(q, str(exc))
                     last_failure = exc
                     continue
                 if stabilize and not model.is_stable:
                     model, dropped = _partial_pade(model, sequence, slope_constraint)
                     escalations.append(
                         f"order {q}: discarded {dropped} right-half-plane pole(s)"
+                    )
+                    tracer.event(
+                        "partial_pade", subproblem=sub.label, node=node_name,
+                        order=q, dropped=dropped,
                     )
                 estimate = self._error_estimate(sequence, q, model, use_scaling, estimator)
                 return accept(model, len(model.terms), estimate)
@@ -480,12 +558,12 @@ class AweAnalyzer:
                                   use_scaling, slope_constraint)
             except (MomentMatrixError, ApproximationError) as exc:
                 escalations.append(f"order {q}: {exc}")
-                self.system.stats.add("order_escalations", 1)
+                escalated(q, str(exc))
                 last_failure = exc
                 continue
             if not model.is_stable:
                 escalations.append(f"order {q}: unstable pole")
-                self.system.stats.add("order_escalations", 1)
+                escalated(q, "unstable pole")
                 last_failure = UnstableApproximationError(
                     f"order {q} produced a right-half-plane pole", order=q
                 )
@@ -495,16 +573,20 @@ class AweAnalyzer:
                 return accept(model, q, estimate)
             if estimate is None:
                 escalations.append(f"order {q}: stable but unverifiable")
+                tracer.event(
+                    "order_unverified", subproblem=sub.label, node=node_name,
+                    order=q,
+                )
                 fallback = (model, q)
             else:
                 escalations.append(
                     f"order {q}: error {estimate:.3g} > target {error_target:g}"
                 )
-                self.system.stats.add("order_escalations", 1)
+                escalated(q, "error above target", estimate, error_target)
         if fallback is not None:
             model, q = fallback
             escalations.append(f"returning unverified order {q} fallback")
-            return accept(model, q, None)
+            return accept(model, q, None, fallback=True)
         raise OrderLimitError(
             f"no order ≤ {self.max_order} met error target {error_target:g} for "
             f"subproblem {sub.label} at node {row}: " + "; ".join(escalations)
@@ -514,8 +596,10 @@ class AweAnalyzer:
         available = len(sequence) - 1  # number of m_k entries
         if 2 * q - 1 > available:
             raise MomentMatrixError(f"not enough moments for order {q}")
-        pade = match_poles(sequence[: 2 * q], q, use_scaling=use_scaling)
-        terms = solve_residues(pade.poles, sequence, initial_slope=slope_constraint)
+        with self.tracer.span("pade", order=q):
+            pade = match_poles(sequence[: 2 * q], q, use_scaling=use_scaling)
+        with self.tracer.span("residues", order=q):
+            terms = solve_residues(pade.poles, sequence, initial_slope=slope_constraint)
         return PoleResidueModel(tuple(terms), offset=offset, slope=slope, t0=t0, name=label)
 
     def _error_estimate(self, sequence, q, model, use_scaling, estimator):

@@ -217,3 +217,12 @@ def cauchy_relative_error(reference: PoleResidueModel, candidate: PoleResidueMod
     if not np.isfinite(norm_squared) or norm_squared == 0.0:
         return relative_error(reference, candidate)
     return cauchy_bound_distance(reference, candidate) / math.sqrt(norm_squared)
+
+
+#: The named relative-error estimators selectable via
+#: ``AweAnalyzer.response(error_method=...)`` — the single registry the
+#: driver dispatches on and the ``order_escalation`` trace events cite.
+ESTIMATORS = {
+    "exact": relative_error,
+    "cauchy": cauchy_relative_error,
+}

@@ -41,6 +41,7 @@ from repro.circuit.netlist import Circuit
 from repro.core.driver import AweAnalyzer, AweResponse
 from repro.errors import BatchTimeoutError, CircuitError
 from repro.instrumentation import SolverStats
+from repro.trace import Tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +95,13 @@ class BatchResult:
     failure, in which case ``error``/``error_type`` describe what went
     wrong (``error_type`` is the exception class name, e.g.
     ``"BatchTimeoutError"`` for a per-job timeout).
+
+    ``trace`` is the job's serialized trace record (the plain-dict tree
+    of :meth:`repro.trace.Tracer.to_record` — it crosses the process pool
+    as data) when the run was started with ``trace=True``, else ``None``.
+    Rebuild the object form with
+    :meth:`repro.trace.TraceSpan.from_record`, or feed it straight to
+    :mod:`repro.report`.
     """
 
     index: int
@@ -102,6 +110,7 @@ class BatchResult:
     error: str | None = None
     error_type: str | None = None
     elapsed_s: float = 0.0
+    trace: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +133,14 @@ def _deadline(seconds: float | None):
     a long LAPACK call is still interrupted at the next bytecode
     boundary.  Silently degrades to a no-op where real-time signals are
     unavailable (non-main thread, non-Unix platforms).
+
+    Nesting-safe: on exit the previous handler is restored *and* an
+    enclosing ``_deadline``'s timer is re-armed with its remaining budget
+    (arming our own timer cancels the outer one — without the re-arm, an
+    inner block, timed out or not, would silently disarm the outer
+    deadline for the rest of its group).  An outer budget that expired
+    while the inner block ran is re-armed with a minimal delay so it
+    still fires promptly.
     """
     usable = (
         seconds is not None
@@ -139,25 +156,41 @@ def _deadline(seconds: float | None):
         raise BatchTimeoutError(f"job exceeded its {seconds:g} s timeout")
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    armed_at = time.monotonic()
     try:
         yield
     finally:
+        # Disarm before touching the handler so a firing between the two
+        # calls cannot hit a half-restored state; then hand control (and
+        # any leftover budget) back to the enclosing deadline.
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining:
+            elapsed = time.monotonic() - armed_at
+            signal.setitimer(
+                signal.ITIMER_REAL, max(outer_remaining - elapsed, 1e-6)
+            )
 
 
-def _execute_group(circuit, entries, timeout):
+def _execute_group(circuit, entries, timeout, trace=False):
     """Run one circuit group's jobs sequentially with analyzer reuse.
 
     ``entries`` is ``[(job_index, stripped_job), ...]`` where the jobs'
     ``circuit`` field has been cleared so the (possibly large) circuit
     pickles once per task instead of once per job.  Returns
     ``(results, stats_dict, analyzers_built)``.
+
+    With ``trace=True`` each job gets its own
+    :class:`~repro.trace.Tracer`, swapped onto the (shared) analyzer for
+    the job's duration; the serialized record rides back on
+    ``BatchResult.trace``.  Shared work (MNA assembly, LU, the batched
+    moment recursion) lands in the trace of the job that triggered it.
     """
     analyzers: dict = {}
     results: list[BatchResult] = []
     for index, job in entries:
+        tracer = Tracer(job.label, job_index=index) if trace else None
         start = time.perf_counter()
         try:
             with _deadline(timeout):
@@ -165,9 +198,12 @@ def _execute_group(circuit, entries, timeout):
                 analyzer = analyzers.get(key)
                 if analyzer is None:
                     analyzer = AweAnalyzer(
-                        circuit, job.stimuli, max_order=job.max_order
+                        circuit, job.stimuli, max_order=job.max_order,
+                        tracer=tracer,
                     )
                     analyzers[key] = analyzer
+                elif trace:
+                    analyzer.use_tracer(tracer)
                 responses = {
                     node: analyzer.response(
                         node,
@@ -183,9 +219,16 @@ def _execute_group(circuit, entries, timeout):
                     label=job.label,
                     responses=responses,
                     elapsed_s=time.perf_counter() - start,
+                    trace=tracer.to_record() if trace else None,
                 )
             )
         except Exception as exc:
+            if trace:
+                # Failures raised outside any span (e.g. an unknown node
+                # rejected before the response span opens) would otherwise
+                # leave the trace silent about why the job died.
+                tracer.event("job_failed", error_type=type(exc).__name__,
+                             error=str(exc))
             results.append(
                 BatchResult(
                     index=index,
@@ -194,6 +237,7 @@ def _execute_group(circuit, entries, timeout):
                     error="".join(traceback.format_exception_only(exc)).strip(),
                     error_type=type(exc).__name__,
                     elapsed_s=time.perf_counter() - start,
+                    trace=tracer.to_record() if trace else None,
                 )
             )
     stats = SolverStats()
@@ -245,11 +289,18 @@ class BatchEngine:
         jobs,
         workers: int | None = None,
         timeout: float | None = None,
+        trace: bool = False,
     ) -> list[BatchResult]:
         """Execute ``jobs`` and return one :class:`BatchResult` per job,
         in input order.  Failures (including per-job timeouts) are
         captured as failure records; this method only raises for
-        malformed input, never for a failing job."""
+        malformed input, never for a failing job.
+
+        ``trace=True`` records one hierarchical trace per job (wall-time
+        spans, counter deltas, escalation events — see
+        ``docs/observability.md``) and returns it on each result's
+        ``trace`` field as a serialized record, including across the
+        process pool."""
         jobs = list(jobs)
         for job in jobs:
             if not isinstance(job, AweJob):
@@ -263,9 +314,9 @@ class BatchEngine:
         groups = self._group_by_circuit(jobs)
         chunks = self._chunk(groups, workers)
         if workers <= 1:
-            outcomes = [_execute_group(*chunk, timeout) for chunk in chunks]
+            outcomes = [_execute_group(*chunk, timeout, trace) for chunk in chunks]
         else:
-            outcomes = self._run_pool(chunks, workers, timeout)
+            outcomes = self._run_pool(chunks, workers, timeout, trace)
 
         results: list[BatchResult | None] = [None] * len(jobs)
         builds = 0
@@ -331,7 +382,7 @@ class BatchEngine:
         return chunks
 
     @staticmethod
-    def _run_pool(chunks, workers, timeout):
+    def _run_pool(chunks, workers, timeout, trace=False):
         """Fan chunks out over a process pool; a crashed worker poisons
         only its own chunks (each job becomes a failure record)."""
         try:
@@ -345,7 +396,7 @@ class BatchEngine:
             max_workers=min(workers, len(chunks)), mp_context=context
         ) as pool:
             futures = {
-                pool.submit(_pool_task, (circuit, entries, timeout)): entries
+                pool.submit(_pool_task, (circuit, entries, timeout, trace)): entries
                 for circuit, entries in chunks
             }
             for future in concurrent.futures.as_completed(futures):

@@ -9,30 +9,10 @@ the same object, and the :class:`~repro.engine.batch.BatchEngine` merges
 the per-circuit objects into a batch-wide view (``stats()`` dicts, and
 ``python -m repro batch --stats`` on the command line).
 
-Counter semantics
------------------
-``lu_factorizations``
-    Number of LU factorisations computed (dense LAPACK or SuperLU).
-``triangular_solves``
-    Number of forward/back-substitution *calls*.  A multi-RHS solve counts
-    as **one** call — the whole point of the batched moment recursion.
-``solve_columns``
-    Total right-hand-side columns solved across all calls; the classic
-    per-vector operation count.  ``solve_columns / triangular_solves`` is
-    the achieved batching factor.
-``moment_solves``
-    The subset of triangular-solve calls issued by the moment recursion
-    (one per order when the recursion is batched, regardless of how many
-    subproblems share it).
-``moments_computed``
-    Moment *vectors* produced (columns × orders).
-``order_escalations``
-    Padé orders discarded during escalation/stability screening.
-``responses``
-    AWE output responses constructed.
-``factor_time_s`` / ``solve_time_s`` / ``wall_time_s``
-    Accumulated wall time of factorisations, triangular solves, and
-    whole-response construction.
+The field-by-field counter semantics (what counts as one triangular
+solve, how the achieved batching factor is derived, which fields are
+seconds) live in ``docs/observability.md`` alongside the trace-span and
+run-report documentation.
 """
 
 from __future__ import annotations

@@ -1,0 +1,28 @@
+"""Run reports: traced analyses rendered to JSON documents and Markdown.
+
+The pipeline is ``BatchEngine.run(jobs, trace=True)`` →
+:func:`build_report` → :func:`validate_report` → ``json.dump`` and/or
+:func:`render_markdown`; ``python -m repro report`` drives the same
+functions from the command line.  The document schema is described in
+``docs/observability.md``.
+"""
+
+from repro.report.build import (
+    PHASE_ORDER,
+    REPORT_SCHEMA,
+    build_report,
+    job_record,
+    response_record,
+    validate_report,
+)
+from repro.report.render import render_markdown
+
+__all__ = [
+    "PHASE_ORDER",
+    "REPORT_SCHEMA",
+    "build_report",
+    "job_record",
+    "render_markdown",
+    "response_record",
+    "validate_report",
+]

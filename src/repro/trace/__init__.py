@@ -1,0 +1,26 @@
+"""Tracing: hierarchical spans + structured events for one analysis.
+
+See :mod:`repro.trace.spans` for the machinery and
+``docs/observability.md`` for the span hierarchy, the event taxonomy and
+worked examples.  The renderer lives in :mod:`repro.report`.
+"""
+
+from repro.trace.spans import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    TraceSpan,
+    Tracer,
+    iter_events,
+    phase_seconds,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "TraceSpan",
+    "Tracer",
+    "iter_events",
+    "phase_seconds",
+]

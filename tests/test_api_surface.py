@@ -18,6 +18,8 @@ PACKAGES = [
     "repro.rctree",
     "repro.timing",
     "repro.papercircuits",
+    "repro.trace",
+    "repro.report",
 ]
 
 

@@ -166,6 +166,77 @@ class TestTimeout:
         assert not results[0].ok
         assert results[0].error_type == "BatchTimeoutError"
 
+    def test_timed_out_job_then_good_job_in_same_chunk(self):
+        # Both jobs share one circuit (one chunk, one reused analyzer).
+        # The first asks for every mesh node with an impossible 1e-14
+        # target (~1 s of per-node escalations, far past the deadline) and
+        # is killed by the timer mid-group; the second, trivial job must
+        # then still run under a correctly re-armed alarm and succeed.
+        # Regression for the timeout path leaving the timer disarmed (or
+        # stale) for the rest of the group once one job's deadline fired.
+        big = rc_mesh(20, 20)
+        nodes = tuple(cap.positive for cap in big.capacitors)  # all 400
+        doomed = AweJob(big, nodes, stimuli=STIM,
+                        error_target=1e-14, label="doomed")
+        quick = AweJob(big, (nodes[0],), stimuli=STIM, order=1,
+                       label="quick")
+        results = BatchEngine().run([doomed, quick], timeout=0.25)
+        assert not results[0].ok
+        assert results[0].error_type == "BatchTimeoutError"
+        assert results[1].ok, results[1].error
+
+    def test_signal_state_restored_after_run(self):
+        import signal
+
+        before_handler = signal.getsignal(signal.SIGALRM)
+        big = rc_mesh(20, 20)
+        results = BatchEngine().run(
+            [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=0.02
+        )
+        assert not results[0].ok
+        assert signal.getsignal(signal.SIGALRM) is before_handler
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_nested_deadline_rearms_outer_timer(self):
+        # An inner _deadline must hand the leftover budget back to the
+        # enclosing one: before the fix, arming the inner timer silently
+        # cancelled the outer alarm for good.
+        import time
+
+        from repro.engine.batch import _deadline
+        from repro.errors import BatchTimeoutError
+
+        with pytest.raises(BatchTimeoutError):
+            with _deadline(0.08):
+                with _deadline(0.05):
+                    pass  # inner completes instantly, must re-arm outer
+                deadline = time.monotonic() + 2.0
+                while time.monotonic() < deadline:
+                    pass  # burn CPU until the outer alarm fires
+
+    def test_nested_deadline_inner_timeout_preserves_outer(self):
+        import signal
+        import time
+
+        from repro.engine.batch import _deadline
+        from repro.errors import BatchTimeoutError
+
+        with pytest.raises(BatchTimeoutError):
+            with _deadline(0.5):
+                try:
+                    with _deadline(0.01):
+                        deadline = time.monotonic() + 1.0
+                        while time.monotonic() < deadline:
+                            pass
+                except BatchTimeoutError:
+                    pass  # the inner timeout fired and was absorbed
+                # The outer timer must still be live after the inner fired.
+                assert signal.getitimer(signal.ITIMER_REAL)[0] > 0.0
+                deadline = time.monotonic() + 2.0
+                while time.monotonic() < deadline:
+                    pass
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
 
 class TestInstrumentation:
     def test_analyzer_reuse_per_distinct_circuit(self):
