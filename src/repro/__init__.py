@@ -69,13 +69,16 @@ from repro.errors import (
 )
 from repro.instrumentation import SolverStats
 from repro.report import build_report, render_markdown, validate_report
+from repro.service import AnalysisClient, AnalysisService, ResultCache, ServiceServer
 from repro.trace import NULL_TRACER, Tracer
 from repro.waveform import Waveform, l2_error
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisClient",
     "AnalysisError",
+    "AnalysisService",
     "ApproximationError",
     "AweAnalyzer",
     "AweJob",
@@ -101,6 +104,8 @@ __all__ = [
     "Ramp",
     "ReproError",
     "Resistor",
+    "ResultCache",
+    "ServiceServer",
     "SingularCircuitError",
     "SolverStats",
     "Step",

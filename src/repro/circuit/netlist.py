@@ -295,6 +295,25 @@ class Circuit:
         duplicate._couplings = dict(self._couplings)
         return duplicate
 
+    def canonical_key(self, stimuli=None) -> str:
+        """Content hash of the circuit (and optional source stimuli).
+
+        SHA-256 over the canonical deck serialisation
+        (:func:`repro.circuit.writer.write_netlist` with
+        ``canonical=True`` and the title blanked), so the key depends
+        only on the element set — not on title, comments, whitespace,
+        insertion order, or how values were spelled in a source deck
+        (``1000`` vs ``1k``).  Any change to an element value, node, or
+        the topology produces a different key.  This is the identity the
+        service result cache (:mod:`repro.service`) is addressed by.
+        """
+        import hashlib
+
+        from repro.circuit.writer import write_netlist
+
+        text = write_netlist(self, stimuli, title="", canonical=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
     def has_initial_conditions(self) -> bool:
         """True when any storage element carries an explicit t = 0 value."""
         for element in self.storage_elements:

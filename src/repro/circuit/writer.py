@@ -6,9 +6,19 @@ resizing), for golden files in regression suites, and for moving test
 cases to an external SPICE.  Round-tripping is covered by property tests:
 ``parse(write(circuit))`` reproduces every element value exactly
 (values are emitted in full ``repr`` precision, not engineering-rounded).
+
+``write_netlist(..., canonical=True)`` emits the elements in a
+deterministic order (natural sort on the case-folded name, so ``R2``
+precedes ``R10``) instead of insertion order.  Canonical output is a
+fixed point: ``write(parse(write(c, canonical=True)), canonical=True)``
+is byte-identical, which makes deck diffs reproducible and gives
+:meth:`repro.circuit.netlist.Circuit.canonical_key` and the service
+cache (:mod:`repro.service.canon`) a stable text to hash.
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step, Stimulus
 from repro.circuit.elements import (
@@ -54,21 +64,42 @@ def _source_card(element, stimulus: Stimulus | None) -> str:
     raise CircuitError(f"cannot serialise stimulus type {type(stimulus).__name__}")
 
 
+def _natural_key(name: str) -> tuple:
+    """Case-insensitive natural sort key: ``R2`` before ``R10``."""
+    return tuple(
+        int(part) if part.isdigit() else part
+        for part in re.split(r"(\d+)", name.lower())
+        if part
+    )
+
+
 def write_netlist(
     circuit: Circuit,
     stimuli: dict[str, Stimulus] | None = None,
     title: str | None = None,
+    canonical: bool = False,
 ) -> str:
     """Serialise ``circuit`` (and optional source stimuli) to deck text.
 
     The first line is the title (the circuit's own unless overridden);
     element cards follow in insertion order, magnetic couplings last
     (the parser requires their inductors to exist first), then ``.end``.
+
+    ``canonical=True`` sorts element cards (and couplings) by
+    :func:`_natural_key` of their names instead, so any two circuits
+    with the same elements serialise to the same text regardless of
+    construction order.  Re-parsing canonical output and writing it
+    again reproduces the text byte for byte: the sorted order *is* the
+    new insertion order.  (Controlled sources may legally precede their
+    control elements in a deck — cross-references are resolved by
+    :func:`repro.circuit.validation.validate_for_analysis`, not the
+    parser — so sorting never produces an unparseable deck.)
     """
     stimuli = stimuli or {}
     _check_card_letters(circuit)
     lines = [title if title is not None else (circuit.title or "untitled circuit")]
-    for element in circuit:
+    elements = sorted(circuit, key=lambda e: _natural_key(e.name)) if canonical else circuit
+    for element in elements:
         if isinstance(element, Resistor):
             lines.append(
                 f"{element.name} {element.positive} {element.negative} "
@@ -100,7 +131,10 @@ def write_netlist(
             )
         else:  # pragma: no cover - future element types
             raise CircuitError(f"cannot serialise element type {type(element).__name__}")
-    for coupling in circuit.mutual_inductances:
+    couplings = circuit.mutual_inductances
+    if canonical:
+        couplings = sorted(couplings, key=lambda c: _natural_key(c.name))
+    for coupling in couplings:
         lines.append(
             f"{coupling.name} {coupling.inductor_a} {coupling.inductor_b} "
             f"{_value(coupling.coupling)}"
@@ -142,7 +176,8 @@ def _check_card_letters(circuit: Circuit) -> None:
         )
 
 
-def write_netlist_file(path, circuit: Circuit, stimuli=None, title=None) -> None:
+def write_netlist_file(path, circuit: Circuit, stimuli=None, title=None,
+                       canonical: bool = False) -> None:
     """Write the deck to a file."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(write_netlist(circuit, stimuli, title))
+        handle.write(write_netlist(circuit, stimuli, title, canonical=canonical))

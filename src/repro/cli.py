@@ -25,7 +25,20 @@ Installed as ``python -m repro``.  The subcommands:
     deck never aborts the batch), optional process-pool fan-out
     (``--workers``), per-job timeouts, and ``--stats`` solver
     instrumentation (LU factorisations, triangular solves, moments, wall
-    time).
+    time) emitted as one JSON object on stderr — machine-parseable, never
+    interleaved with the per-job table on stdout (``--stats-json PATH``
+    writes it to a file instead).
+
+``serve``
+    Run the long-lived analysis daemon: a JSON HTTP API (``POST
+    /analyze``, ``GET /healthz``, ``GET /metrics``) over a persistent
+    worker pool with a content-addressed result cache, bounded-queue
+    admission control (429 when full), and graceful SIGTERM drain.  See
+    ``docs/service.md``.
+
+``analyze``
+    Client for a running daemon: send one deck to ``--server URL`` and
+    print the timing table (or the raw run-report JSON with ``--json``).
 
 Examples::
 
@@ -34,6 +47,8 @@ Examples::
     python -m repro poles net.sp --order 2 --node out --source Vin
     python -m repro simulate net.sp --node out --t-stop 5e-9 --csv out.csv
     python -m repro batch net1.sp net2.sp --node out --workers 4 --stats
+    python -m repro serve --port 8040 --workers 4 --cache-dir /var/cache/repro
+    python -m repro analyze net.sp --server http://127.0.0.1:8040 --node out
 """
 
 from __future__ import annotations
@@ -123,7 +138,50 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--timeout", type=float,
                        help="per-job wall-clock timeout in seconds")
     batch.add_argument("--stats", action="store_true",
-                       help="print solver instrumentation counters")
+                       help="emit solver instrumentation counters as one "
+                            "JSON object on stderr")
+    batch.add_argument("--stats-json", metavar="PATH",
+                       help="write the instrumentation JSON to this file "
+                            "instead of stderr")
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived analysis daemon (docs/service.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8040,
+                       help="listening port; 0 picks a free one (default 8040)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent analysis worker threads (default 2)")
+    serve.add_argument("--queue-size", type=int, default=16,
+                       help="admission bound: waiting requests beyond this "
+                            "are refused with HTTP 429 (default 16)")
+    serve.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                       help="in-memory result-cache budget (default 64 MiB)")
+    serve.add_argument("--cache-dir", metavar="PATH",
+                       help="persist cached reports here (restart-warm cache)")
+    serve.add_argument("--timeout", type=float,
+                       help="default per-request wall-clock budget in seconds")
+
+    analyze = commands.add_parser(
+        "analyze", help="send one deck to a running daemon"
+    )
+    analyze.add_argument("deck", help="SPICE-style netlist file")
+    analyze.add_argument("--server", required=True, metavar="URL",
+                         help="daemon base URL, e.g. http://127.0.0.1:8040")
+    analyze.add_argument("--node", action="append", required=True,
+                         help="output node (repeatable)")
+    analyze_group = analyze.add_mutually_exclusive_group()
+    analyze_group.add_argument("--order", type=int, help="fixed AWE order")
+    analyze_group.add_argument("--target", type=float, default=0.01,
+                               help="error target for automatic order "
+                                    "(default 0.01)")
+    analyze.add_argument("--max-order", type=int, default=8)
+    analyze.add_argument("--threshold", type=float,
+                         help="logic threshold for an extra delay column (V)")
+    analyze.add_argument("--timeout", type=float,
+                         help="server-side per-request budget in seconds")
+    analyze.add_argument("--json", metavar="PATH",
+                         help="write the raw run-report JSON here; '-' = stdout")
     return parser
 
 
@@ -297,9 +355,10 @@ def cmd_sensitivity(args) -> int:
 
 
 def cmd_batch(args) -> int:
+    import json
+
     from repro.engine import AweJob, BatchEngine
     from repro.errors import ReproError as _ReproError
-    from repro.instrumentation import format_stats
 
     jobs = []
     parse_failures: list[tuple[str, str]] = []
@@ -344,12 +403,94 @@ def cmd_batch(args) -> int:
     for path, message in parse_failures:
         print(f"  {path:<24} FAILED [parse] {message}")
 
-    if args.stats:
-        print("\nsolver instrumentation:")
-        print(format_stats(engine.stats()))
+    if args.stats or args.stats_json:
+        # One JSON object, kept off stdout so the per-job table stays
+        # clean and the stats block stays machine-parseable.
+        stats_text = json.dumps(engine.stats(), sort_keys=True)
+        if args.stats_json:
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                handle.write(stats_text + "\n")
+            print(f"wrote {args.stats_json}", file=sys.stderr)
+        else:
+            print(stats_text, file=sys.stderr)
     if failed:
         print(f"\n{failed} of {len(jobs) + len(parse_failures)} job(s) failed")
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import serve
+
+    def announce(server):
+        # The parseable "where am I" line smoke tests and wrappers key on;
+        # flushed immediately so a --port 0 caller can read the real port.
+        print(f"repro service listening on {server.url}", flush=True)
+        print(f"  workers={args.workers} queue_size={args.queue_size} "
+              f"cache_bytes={args.cache_bytes}"
+              + (f" cache_dir={args.cache_dir}" if args.cache_dir else ""),
+              flush=True)
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_bytes=args.cache_bytes,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        announce=announce,
+    )
+
+
+def cmd_analyze(args) -> int:
+    import json
+
+    from repro.service import AnalysisClient
+
+    client = AnalysisClient(args.server)
+    outcome = client.analyze_file(
+        args.deck,
+        args.node,
+        order=args.order,
+        error_target=None if args.order is not None else args.target,
+        max_order=args.max_order,
+        threshold=args.threshold,
+        timeout=args.timeout,
+    )
+    print(f"server: {args.server} "
+          f"[{'cache hit' if outcome.cached else 'computed'}, "
+          f"{outcome.server_elapsed_s * 1e3:.2f} ms server-side]",
+          file=sys.stderr)
+
+    if args.json is not None:
+        _write_text(args.json, outcome.body.decode("utf-8"))
+    else:
+        for job in outcome.document["jobs"]:
+            title = f"AWE timing report: {job['label']}"
+            print(f"\n{title}")
+            header = f"  {'node':<8} {'order':>5} {'estimate':>9} {'final':>9} {'50% delay':>11}"
+            if args.threshold is not None:
+                header += f" {'thr delay':>11}"
+            print(header)
+            for response in job["responses"]:
+                estimate = response["error_estimate"]
+                estimate_text = (f"{estimate:.3%}" if estimate is not None
+                                 else "n/a")
+                final = response["final_value"]
+                final_text = f"{final:>8.4f}V" if final is not None else "      n/a"
+                delay = response.get("delay_50_s")
+                delay_text = fmt(delay, "s") if delay is not None else "n/a"
+                line = (f"  {response['node']:<8} {response['order']:>5} "
+                        f"{estimate_text:>9} {final_text} {delay_text:>11}")
+                if args.threshold is not None:
+                    thr = response.get("delay_threshold_s")
+                    line += f" {fmt(thr, 's') if thr is not None else 'n/a':>11}"
+                print(line)
+    failures = [job for job in outcome.document["jobs"] if not job["ok"]]
+    for job in failures:
+        print(f"error: {job['label']}: [{job['error_type']}] {job['error']}",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -361,6 +502,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "sensitivity": cmd_sensitivity,
         "batch": cmd_batch,
+        "serve": cmd_serve,
+        "analyze": cmd_analyze,
     }
     try:
         return handlers[args.command](args)

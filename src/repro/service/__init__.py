@@ -1,0 +1,44 @@
+"""Long-lived AWE analysis service: daemon, cache, client.
+
+The one-shot CLI pays full process startup, deck parsing, and MNA
+factorisation on every invocation and throws the results away.  This
+package amortises that cost one level above the moment recursion: a
+daemon (``python -m repro serve``) keeps a pool of
+:class:`~repro.engine.batch.BatchEngine` workers hot and fronts them
+with a content-addressed result cache, so the timing loops that resubmit
+the same (or a trivially reformatted) deck get their run report back in
+microseconds instead of milliseconds.
+
+* :mod:`repro.service.canon` — canonical deck text and request hashing:
+  whitespace / comment / element-order / unit-spelling variants of one
+  circuit map to one cache key.
+* :mod:`repro.service.cache` — byte-budget LRU of validated
+  ``repro.run-report/1`` JSON documents, with optional on-disk
+  persistence and hit/miss/eviction counters.
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API
+  (``POST /analyze``, ``GET /healthz``, ``GET /metrics``) with a bounded
+  queue, 429 admission control, per-request timeouts, and graceful
+  SIGTERM drain.
+* :mod:`repro.service.client` — a dependency-free HTTP client
+  (``python -m repro analyze --server`` uses it).
+
+The request/response schema, cache semantics, and metrics fields are
+documented in ``docs/service.md``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.canon import canonical_deck, request_key
+from repro.service.client import AnalysisClient, AnalyzeOutcome, ServiceError
+from repro.service.server import AnalysisService, ServiceServer, serve
+
+__all__ = [
+    "AnalysisClient",
+    "AnalysisService",
+    "AnalyzeOutcome",
+    "ResultCache",
+    "ServiceError",
+    "ServiceServer",
+    "canonical_deck",
+    "request_key",
+    "serve",
+]

@@ -1,0 +1,149 @@
+"""HTTP client for the analysis daemon (stdlib ``urllib`` only).
+
+The client speaks the JSON API documented in ``docs/service.md`` and
+keeps the raw response bytes around: a cache hit is *bit-identical* to
+the cold run's body, and :attr:`AnalyzeOutcome.body` is how callers (the
+benchmark suite, the CI smoke test) check that promise without trusting
+any re-serialisation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the analysis service.
+
+    ``status`` is the HTTP code; ``retry_after`` carries the server's
+    back-off hint (seconds) for 429 responses, else ``None``.
+    """
+
+    def __init__(self, message: str, status: int, retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalyzeOutcome:
+    """One ``/analyze`` round trip.
+
+    ``document`` is the parsed ``repro.run-report/1`` report; ``body``
+    the exact bytes received; ``cached`` whether the server answered
+    from its result cache; ``key`` the request's content address;
+    ``server_elapsed_s`` the server-side handling time (for a hit, the
+    cache lookup; for a miss, the full analysis).
+    """
+
+    document: dict
+    body: bytes
+    cached: bool
+    key: str
+    server_elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        """True when every job in the report succeeded."""
+        return self.document["totals"]["jobs_failed"] == 0
+
+
+class AnalysisClient:
+    """Talk to a running ``python -m repro serve`` daemon.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8040"`` (a trailing slash is fine).
+    timeout:
+        Socket timeout in seconds for every call (default 60).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoints -----------------------------------------------------
+
+    def analyze(
+        self,
+        deck: str,
+        nodes,
+        order: int | None = None,
+        error_target: float | None = None,
+        max_order: int | None = None,
+        threshold: float | None = None,
+        timeout: float | None = None,
+    ) -> AnalyzeOutcome:
+        """Submit one deck for analysis and return the run report.
+
+        ``deck`` is netlist text (use :func:`analyze_file` for a path);
+        ``nodes`` one name or a list.  The remaining parameters mirror
+        ``python -m repro report``; ``timeout`` is the server-side
+        per-request budget in seconds.
+        """
+        payload: dict = {
+            "deck": deck,
+            "nodes": [nodes] if isinstance(nodes, str) else list(nodes),
+        }
+        for name, value in (("order", order), ("error_target", error_target),
+                            ("max_order", max_order), ("threshold", threshold),
+                            ("timeout", timeout)):
+            if value is not None:
+                payload[name] = value
+        status, body, headers = self._request(
+            "POST", "/analyze", json.dumps(payload).encode("utf-8"))
+        return AnalyzeOutcome(
+            document=json.loads(body),
+            body=body,
+            cached=headers.get("X-Repro-Cache") == "hit",
+            key=headers.get("X-Repro-Key", ""),
+            server_elapsed_s=float(headers.get("X-Repro-Elapsed-S", "nan")),
+        )
+
+    def analyze_file(self, path, nodes, **options) -> AnalyzeOutcome:
+        """:meth:`analyze` on a deck file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.analyze(handle.read(), nodes, **options)
+
+    def healthz(self) -> dict:
+        """The health document (raises :class:`ServiceError` with status
+        503 once the server is draining)."""
+        _, body, _ = self._request("GET", "/healthz")
+        return json.loads(body)
+
+    def metrics(self) -> dict:
+        """The metrics document: request/queue/cache counters plus the
+        cumulative solver instrumentation."""
+        _, body, _ = self._request("GET", "/metrics")
+        return json.loads(body)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes | None = None):
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode("utf-8", "replace"))
+            except (ValueError, AttributeError):
+                message = raw.decode("utf-8", "replace") or str(exc)
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceError(
+                f"HTTP {exc.code}: {message}", exc.code,
+                retry_after=float(retry_after) if retry_after else None,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}", 0) from None

@@ -173,12 +173,30 @@ class TestBatch:
         # Each deck reports each node on its own line.
         assert out.count(" 1 ") >= 2 and out.count(" 2 ") >= 2
 
-    def test_batch_stats(self, two_decks, capsys):
+    def test_batch_stats_is_one_json_object_on_stderr(self, two_decks, capsys):
+        import json
+
         assert main(["batch", *two_decks, "--node", "2", "--stats"]) == 0
-        out = capsys.readouterr().out
-        assert "solver instrumentation" in out
-        assert "lu_factorizations" in out
-        assert "triangular_solves" in out
+        captured = capsys.readouterr()
+        # The human-readable table stays on stdout; stderr carries exactly
+        # one machine-readable JSON object.
+        assert "batch: 2 job(s)" in captured.out
+        assert "lu_factorizations" not in captured.out
+        stats = json.loads(captured.err)
+        assert stats["lu_factorizations"] >= 1
+        assert stats["triangular_solves"] >= 1
+        assert stats["jobs"] == 2
+
+    def test_batch_stats_json_file(self, two_decks, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stats.json"
+        assert main(["batch", *two_decks, "--node", "2",
+                     "--stats-json", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert str(path) in captured.err
+        stats = json.loads(path.read_text())
+        assert stats["lu_factorizations"] >= 1
 
     def test_batch_workers(self, two_decks, capsys):
         assert main(["batch", *two_decks, "--node", "2", "--workers", "2"]) == 0
@@ -197,3 +215,46 @@ class TestBatch:
         out = capsys.readouterr().out
         assert "FAILED [CircuitError]" in out
         assert "2 of 2 job(s) failed" in out
+
+
+class TestAnalyzeAgainstServer:
+    """`python -m repro analyze` against an in-process daemon."""
+
+    @pytest.fixture
+    def server_url(self):
+        from repro.service import ServiceServer
+
+        with ServiceServer(port=0, workers=1) as server:
+            yield server.url
+
+    def test_analyze_then_cache_hit(self, deck_file, server_url, capsys):
+        assert main(["analyze", deck_file, "--server", server_url,
+                     "--node", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "computed" in captured.err
+        assert "cli test net" in captured.out
+        assert " 2 " in captured.out
+
+        assert main(["analyze", deck_file, "--server", server_url,
+                     "--node", "2"]) == 0
+        assert "cache hit" in capsys.readouterr().err
+
+    def test_analyze_json_output(self, deck_file, server_url, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert main(["analyze", deck_file, "--server", server_url,
+                     "--node", "2", "--json", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro.run-report/1"
+        assert document["totals"]["jobs_failed"] == 0
+
+    def test_analyze_failure_exit_code(self, deck_file, server_url, capsys):
+        assert main(["analyze", deck_file, "--server", server_url,
+                     "--node", "zz"]) == 1
+        assert "CircuitError" in capsys.readouterr().err
+
+    def test_analyze_unreachable_server(self, deck_file, capsys):
+        assert main(["analyze", deck_file, "--server",
+                     "http://127.0.0.1:9", "--node", "2"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -214,6 +214,36 @@ class TestTimeout:
                 while time.monotonic() < deadline:
                     pass  # burn CPU until the outer alarm fires
 
+    def test_sigterm_during_deadline_is_survivable(self):
+        # The serve daemon's SIGTERM handler only flips a drain flag; a
+        # job running under _deadline when the signal lands must finish
+        # normally, and later runs must still enforce their budgets.
+        import os
+        import signal
+        import threading
+
+        seen = []
+        before = signal.getsignal(signal.SIGTERM)
+        signal.signal(signal.SIGTERM, lambda signum, frame: seen.append(signum))
+        big = rc_mesh(20, 20)
+        killer = threading.Timer(
+            0.02, os.kill, args=(os.getpid(), signal.SIGTERM))
+        try:
+            killer.start()
+            results = BatchEngine().run(
+                [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=30.0
+            )
+        finally:
+            killer.join()
+            signal.signal(signal.SIGTERM, before)
+        assert seen == [signal.SIGTERM]
+        assert results[0].ok, results[0].error
+        # The deadline machinery is intact after the interruption.
+        late = BatchEngine().run(
+            [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=0.02
+        )
+        assert late[0].error_type == "BatchTimeoutError"
+
     def test_nested_deadline_inner_timeout_preserves_outer(self):
         import signal
         import time

@@ -1,0 +1,132 @@
+"""Tests for the service result cache (`repro.service.cache`)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.report import REPORT_SCHEMA
+from repro.service.cache import ResultCache
+
+
+def body(tag: str, pad: int = 0) -> bytes:
+    """A schema-tagged JSON body (what the server actually stores)."""
+    document = {"schema": REPORT_SCHEMA, "tag": tag, "pad": "x" * pad}
+    return (json.dumps(document) + "\n").encode()
+
+
+class TestLru:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        assert cache.get("k1") is None
+        cache.put("k1", body("one"))
+        assert cache.get("k1") == body("one")
+        stats = cache.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["cache_stores"] == 1
+        assert stats["cache_entries"] == 1
+
+    def test_byte_budget_evicts_least_recently_used(self):
+        one, two, three = body("one", 300), body("two", 300), body("three", 300)
+        cache = ResultCache(max_bytes=len(one) + len(two) + 10)
+        cache.put("one", one)
+        cache.put("two", two)
+        cache.get("one")          # refresh: "two" is now the LRU entry
+        cache.put("three", three)  # must evict exactly one entry: "two"
+        assert cache.get("one") is not None
+        assert cache.get("three") is not None
+        assert cache.get("two") is None
+        assert cache.stats()["cache_evictions"] == 1
+        assert cache.stats()["cache_bytes"] <= cache.max_bytes
+
+    def test_replacing_a_key_reclaims_its_bytes(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        cache.put("k", body("a", 500))
+        cache.put("k", body("b", 10))
+        assert cache.stats()["cache_bytes"] == len(body("b", 10))
+        assert cache.get("k") == body("b", 10)
+
+    def test_oversize_body_is_not_cached_in_memory(self):
+        cache = ResultCache(max_bytes=64)
+        cache.put("big", body("big", 500))
+        assert len(cache) == 0
+        assert cache.stats()["cache_oversize_skips"] == 1
+        # It never evicted anything to make room it could not provide.
+        assert cache.stats()["cache_evictions"] == 0
+
+    def test_rejects_non_bytes(self):
+        cache = ResultCache()
+        with pytest.raises(TypeError):
+            cache.put("k", {"schema": REPORT_SCHEMA})
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=0)
+
+
+class TestDiskTier:
+    def test_restart_warm(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        first = ResultCache(max_bytes=1 << 20, directory=directory)
+        first.put("k1", body("persisted"))
+
+        second = ResultCache(max_bytes=1 << 20, directory=directory)
+        assert second.get("k1") == body("persisted")
+        stats = second.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_disk_hits"] == 1
+        # Promoted into memory: the next hit does not touch the disk.
+        assert second.get("k1") == body("persisted")
+        assert second.stats()["cache_disk_hits"] == 1
+
+    def test_corrupt_disk_entry_is_dropped(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.put("k1", body("fine"))
+        path = tmp_path / "cache" / "k1.json"
+        path.write_bytes(b'{"schema": "repro.run-')  # truncated write
+        cache.clear()
+        assert cache.get("k1") is None
+        assert not path.exists()
+
+    def test_wrong_schema_on_disk_is_dropped(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        (tmp_path / "cache").mkdir()
+        (tmp_path / "cache" / "k1.json").write_bytes(
+            b'{"schema": "repro.run-report/0"}')
+        assert cache.get("k1") is None
+        assert not (tmp_path / "cache" / "k1.json").exists()
+
+    def test_memory_only_cache_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = ResultCache()
+        cache.put("k1", body("one"))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets_stay_consistent(self):
+        cache = ResultCache(max_bytes=16 * 1024)
+        errors = []
+
+        def hammer(tag):
+            try:
+                for i in range(200):
+                    key = f"{tag}-{i % 7}"
+                    cache.put(key, body(key, 40))
+                    got = cache.get(key)
+                    assert got is None or got == body(key, 40)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in "abcd"]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["cache_bytes"] <= cache.max_bytes
+        assert stats["cache_stores"] == 800

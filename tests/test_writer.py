@@ -101,6 +101,60 @@ class TestValidation:
         assert write_netlist(fig4_rc_tree()).rstrip().endswith(".end")
 
 
+class TestCanonicalOrdering:
+    def test_elements_sorted_by_natural_key(self):
+        ckt = Circuit("ordering")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_resistor("R10", "a", "b", 1e3)
+        ckt.add_resistor("R2", "in", "a", 1e3)
+        ckt.add_capacitor("c1", "a", "0", 1e-12)
+        ckt.add_capacitor("C10", "b", "0", 1e-12)
+        names = [line.split()[0] for line in
+                 write_netlist(ckt, canonical=True).splitlines()[1:-1]]
+        assert names == ["c1", "C10", "R2", "R10", "Vin"]
+
+    def test_construction_order_invisible_in_canonical_mode(self):
+        one = Circuit("one")
+        one.add_voltage_source("Vin", "in", "0")
+        one.add_resistor("R1", "in", "a", 1e3)
+        one.add_capacitor("C1", "a", "0", 1e-12)
+        other = Circuit("other")
+        other.add_capacitor("C1", "a", "0", 1e-12)
+        other.add_resistor("R1", "in", "a", 1e3)
+        other.add_voltage_source("Vin", "in", "0")
+        assert (write_netlist(one, title="t", canonical=True)
+                == write_netlist(other, title="t", canonical=True))
+        # Default mode still preserves construction order.
+        assert (write_netlist(one, title="t")
+                != write_netlist(other, title="t"))
+
+    def test_canonical_deck_roundtrips(self):
+        circuit = fig4_rc_tree()
+        deck = parse_netlist(write_netlist(circuit, canonical=True))
+        assert len(deck.circuit) == len(circuit)
+        for element in circuit:
+            assert deck.circuit[element.name].nodes == element.nodes
+
+    def test_canonical_mutual_inductances_sorted_and_valid(self):
+        ckt = Circuit("coupled")
+        ckt.add_voltage_source("Vin", "in", "0")
+        ckt.add_inductor("L1", "in", "a", 10e-9)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        ckt.add_inductor("L2", "b", "0", 5e-9)
+        ckt.add_resistor("R2", "b", "0", 50.0)
+        ckt.add_mutual_inductance("K12", "L1", "L2", 0.42)
+        ckt.add_mutual_inductance("K2", "L2", "L1", 0.1)
+        text = write_netlist(ckt, canonical=True)
+        names = [line.split()[0] for line in text.splitlines()[1:-1]]
+        assert names.index("K2") < names.index("K12")  # natural: K2 < K12
+        assert parse_netlist(text).circuit.mutual_inductances[0].coupling in (0.42, 0.1)
+
+    def test_canonical_key_is_stable_hex_digest(self):
+        key = fig4_rc_tree().canonical_key()
+        assert len(key) == 64
+        assert key == fig4_rc_tree().canonical_key()
+
+
 class TestPropertyRoundTrip:
     @given(st.integers(min_value=2, max_value=12),
            st.integers(min_value=0, max_value=10**6))
