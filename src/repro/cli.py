@@ -29,6 +29,18 @@ Installed as ``python -m repro``.  The subcommands:
     interleaved with the per-job table on stdout (``--stats-json PATH``
     writes it to a file instead).
 
+``fuzz``
+    Run the conformance fuzzer: seed-reproducible random circuits from
+    every generator family pushed through the whole stack (parser →
+    canonical writer → AWE → TR-BDF2 oracle → service cache key) and
+    checked against the metamorphic-invariant registry (linearity,
+    impedance/time/frequency-scaling covariance, Elmore equivalence,
+    round-trip idempotence, batch-vs-sequential bit-identity,
+    differential L2).  ``--shrink`` delta-debugs each failure to a
+    minimal netlist; ``--report`` writes the deterministic JSON crash
+    report (byte-identical across re-runs of the same seed range).  See
+    ``docs/testing.md``.
+
 ``serve``
     Run the long-lived analysis daemon: a JSON HTTP API (``POST
     /analyze``, ``GET /healthz``, ``GET /metrics``) over a persistent
@@ -47,6 +59,7 @@ Examples::
     python -m repro poles net.sp --order 2 --node out --source Vin
     python -m repro simulate net.sp --node out --t-stop 5e-9 --csv out.csv
     python -m repro batch net1.sp net2.sp --node out --workers 4 --stats
+    python -m repro fuzz --seeds 200 --shrink --report crashes.json
     python -m repro serve --port 8040 --workers 4 --cache-dir /var/cache/repro
     python -m repro analyze net.sp --server http://127.0.0.1:8040 --node out
 """
@@ -143,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--stats-json", metavar="PATH",
                        help="write the instrumentation JSON to this file "
                             "instead of stderr")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="conformance fuzzing campaign (docs/testing.md)"
+    )
+    fuzz.add_argument("--seeds", type=int, default=50,
+                      help="number of seeds to run (default 50)")
+    fuzz.add_argument("--seed-start", type=int, default=0,
+                      help="first seed of the range (default 0)")
+    fuzz.add_argument("--family", choices=None,
+                      help="pin every seed to one generator family")
+    fuzz.add_argument("--check", action="append", metavar="NAME",
+                      help="run only this invariant check (repeatable; "
+                           "default: all)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="delta-debug each failure to a minimal netlist")
+    fuzz.add_argument("--report", metavar="PATH",
+                      help="write the JSON crash report here; '-' = stdout")
+    fuzz.add_argument("--ablate-scaling", action="store_true",
+                      help="disable eq. 47 frequency scaling in every AWE "
+                           "solve — an injected bug for exercising the "
+                           "fuzzer itself")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress the per-failure progress lines")
 
     serve = commands.add_parser(
         "serve", help="run the long-lived analysis daemon (docs/service.md)"
@@ -418,6 +454,60 @@ def cmd_batch(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.conformance import FAMILIES, CHECKS, FuzzConfig, run_fuzz
+
+    if args.family is not None and args.family not in FAMILIES:
+        print(f"error: unknown family {args.family!r}; known: "
+              f"{', '.join(sorted(FAMILIES))}", file=sys.stderr)
+        return 2
+    for name in args.check or ():
+        if name not in CHECKS:
+            print(f"error: unknown check {name!r}; known: "
+                  f"{', '.join(CHECKS)}", file=sys.stderr)
+            return 2
+
+    config = FuzzConfig(checks=tuple(args.check or ()),
+                        use_scaling=not args.ablate_scaling)
+
+    def progress(event: dict) -> None:
+        if args.quiet or not event["failures"]:
+            return
+        print(f"  seed {event['seed']} ({event['family']}): "
+              f"{event['failures']} failing check(s)", file=sys.stderr)
+
+    report = run_fuzz(
+        range(args.seed_start, args.seed_start + args.seeds),
+        config=config,
+        family=args.family,
+        shrink=args.shrink,
+        progress=progress,
+    )
+    if args.report is not None:
+        _write_text(args.report, json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # With `--report -` the JSON owns stdout; the human summary moves to
+    # stderr so the output stays parseable.
+    out = sys.stderr if args.report == "-" else sys.stdout
+    totals = report["totals"]
+    print(f"fuzz: {totals['cases']} case(s), {totals['checks']} check run(s): "
+          f"{totals['passes']} passed, {totals['skips']} skipped, "
+          f"{totals['violations']} violation(s), {totals['crashes']} crash(es)",
+          file=out)
+    for record in report["failures"]:
+        what = (record["error"]["type"] + ": " + record["error"]["message"]
+                if record["kind"] == "crash"
+                else "; ".join(record["violations"]))
+        shrunk = record.get("shrunk")
+        suffix = (f" [shrunk to {shrunk['elements']} elements]"
+                  if shrunk and "elements" in shrunk else "")
+        print(f"  FAIL seed {record['seed']} {record['check']}: {what}{suffix}",
+              file=out)
+    return 0 if report["ok"] else 1
+
+
 def cmd_serve(args) -> int:
     from repro.service import serve
 
@@ -502,6 +592,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "sensitivity": cmd_sensitivity,
         "batch": cmd_batch,
+        "fuzz": cmd_fuzz,
         "serve": cmd_serve,
         "analyze": cmd_analyze,
     }

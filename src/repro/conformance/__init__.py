@@ -1,0 +1,57 @@
+"""Whole-stack conformance fuzzing (``python -m repro fuzz``).
+
+The paper validates AWE *differentially* — every waveform is checked
+against a SPICE reference — and this package turns that method into a
+systematic, seed-reproducible subsystem:
+
+* :mod:`repro.conformance.generate` composes the
+  :mod:`repro.papercircuits.generators` families (random RC trees,
+  ladders, meshes, clock trees, RLC lines, coupled/floating capacitors,
+  trapped-charge initial conditions, near-degenerate element values)
+  into random full-pipeline cases — netlist text → parser → canonical
+  writer → AWE → TR-BDF2 oracle → service cache key.
+* :mod:`repro.conformance.checks` is the metamorphic-invariant registry:
+  AWE-vs-transient L2, linearity, time/impedance-scaling covariance of
+  poles and waveforms, frequency-scaling (eq. 47) invariance,
+  first-order-AWE ≡ Elmore on RC trees, writer/canon idempotence, and
+  batch ≡ sequential bit-identity.
+* :mod:`repro.conformance.shrink` is a delta-debugging netlist shrinker
+  that reduces any failing case to a minimal circuit.
+* :mod:`repro.conformance.runner` drives seeds through the checks and
+  emits a deterministic, structured JSON crash report.
+* :mod:`repro.conformance.corpus` persists distilled failures as a
+  regression corpus replayed by the tier-1 suite (``tests/corpus/``).
+
+See ``docs/testing.md`` for the workflow.
+"""
+
+from repro.conformance.checks import CHECKS, FuzzConfig, SkipCheck, run_check
+from repro.conformance.corpus import (
+    CORPUS_SCHEMA,
+    CorpusEntry,
+    load_corpus,
+    replay_entry,
+    write_entry,
+)
+from repro.conformance.generate import FAMILIES, FuzzCase, generate_case
+from repro.conformance.runner import REPORT_SCHEMA, run_fuzz
+from repro.conformance.shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "CHECKS",
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "FAMILIES",
+    "FuzzCase",
+    "FuzzConfig",
+    "REPORT_SCHEMA",
+    "ShrinkResult",
+    "SkipCheck",
+    "generate_case",
+    "load_corpus",
+    "replay_entry",
+    "run_check",
+    "run_fuzz",
+    "shrink_case",
+    "write_entry",
+]

@@ -1,0 +1,454 @@
+"""The metamorphic-invariant registry of the conformance fuzzer.
+
+Each check is a named function ``(case, config) -> list[str]``: an empty
+list is a pass, each string a violation.  A check may raise
+:class:`SkipCheck` when it does not apply to the case (the runner counts
+skips separately from passes).  Any other exception escaping a check is
+recorded by the runner as a ``crash`` violation — a crash *is* a finding.
+
+The invariants are the paper's own mathematics turned into oracles:
+
+``awe_vs_transient``
+    The whole-stack differential oracle (Sec. 3.4): the auto-escalated
+    AWE waveform must match the converged TR-BDF2 reference within the
+    family-calibrated relative L2 bound.
+``linearity``
+    LTI homogeneity: scaling every stimulus *and* every initial
+    condition by α scales the response by α, bit-for-bit up to roundoff.
+``impedance_scaling``
+    R→kR, L→kL, C→C/k leaves every voltage transfer — poles, residues,
+    waveform — unchanged.
+``time_scaling``
+    C→kC, L→kL (and stimulus breakpoints →k·t) stretches time:
+    v'(k·t) = v(t), poles' = poles / k.
+``frequency_scaling``
+    The eq. 47 γ-scaling of the moments is a numerical aid, not part of
+    the answer: with and without it the final waveform must agree
+    wherever the unscaled solve succeeds at the same order.
+``elmore_first_order``
+    On any RC tree, the first-order AWE pole is −1/T_Elmore at every
+    node (Sec. II / IV equivalence).
+``roundtrip``
+    Writer/parser/canonicaliser idempotence: one canonical re-serialise
+    is a fixed point, and the canonical key survives the round trip.
+``canonical_key``
+    The service cache's content address is invariant under card
+    shuffling, comments, and title changes of the deck text.
+``batch_vs_sequential``
+    :class:`~repro.engine.batch.BatchEngine` results are bit-identical
+    to a direct :class:`~repro.core.driver.AweAnalyzer` run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step, Stimulus
+from repro.analysis.transient import simulate
+from repro.circuit.elements import Capacitor, Inductor, Resistor
+from repro.circuit.netlist import Circuit
+from repro.circuit.parser import parse_netlist
+from repro.circuit.writer import write_netlist
+from repro.core.driver import AweAnalyzer
+from repro.engine.batch import AweJob, BatchEngine
+from repro.errors import AnalysisError, ReproError
+from repro.rctree import elmore_delays
+from repro.service.canon import canonical_deck, request_key
+from repro.waveform import l2_error
+
+from repro.conformance.generate import FuzzCase
+
+
+class SkipCheck(Exception):
+    """Raised by a check that does not apply to the case at hand."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing run.
+
+    ``use_scaling=False`` ablates the paper's eq. 47 frequency scaling in
+    every AWE solve the checks perform — the canonical injected bug the
+    acceptance tests (and ``--ablate-scaling``) use to prove the fuzzer
+    actually detects and shrinks real defects.
+    """
+
+    checks: tuple[str, ...] = ()
+    use_scaling: bool = True
+    error_target: float = 0.005
+    max_order: int = 8
+
+    def check_names(self) -> tuple[str, ...]:
+        return self.checks if self.checks else tuple(CHECKS)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _response(case: FuzzCase, config: FuzzConfig, node: str,
+              circuit: Circuit | None = None, stimuli=None, order=None):
+    analyzer = AweAnalyzer(circuit if circuit is not None else case.circuit,
+                           case.stimuli if stimuli is None else stimuli,
+                           max_order=config.max_order)
+    return analyzer.response(node, order=order,
+                             error_target=config.error_target,
+                             use_scaling=config.use_scaling)
+
+
+def _scaled_stimulus(stimulus: Stimulus, alpha: float) -> Stimulus:
+    """The stimulus with every *voltage* multiplied by ``alpha``."""
+    if isinstance(stimulus, DC):
+        return DC(stimulus.level * alpha)
+    if isinstance(stimulus, Step):
+        return Step(stimulus.v0 * alpha, stimulus.v1 * alpha, delay=stimulus.delay)
+    if isinstance(stimulus, Ramp):
+        return Ramp(stimulus.v0 * alpha, stimulus.v1 * alpha,
+                    rise_time=stimulus.rise_time, delay=stimulus.delay)
+    if isinstance(stimulus, Pulse):
+        return Pulse(stimulus.v0 * alpha, stimulus.v1 * alpha,
+                     delay=stimulus.delay, rise=stimulus.rise,
+                     width=stimulus.width, fall=stimulus.fall)
+    if isinstance(stimulus, PWL):
+        return PWL([(t, v * alpha) for t, v in stimulus.points])
+    raise SkipCheck(f"cannot amplitude-scale stimulus {type(stimulus).__name__}")
+
+
+def _time_scaled_stimulus(stimulus: Stimulus, k: float) -> Stimulus:
+    """The stimulus with every *time* multiplied by ``k``."""
+    if isinstance(stimulus, DC):
+        return stimulus
+    if isinstance(stimulus, Step):
+        return Step(stimulus.v0, stimulus.v1, delay=stimulus.delay * k)
+    if isinstance(stimulus, Ramp):
+        return Ramp(stimulus.v0, stimulus.v1,
+                    rise_time=stimulus.rise_time * k, delay=stimulus.delay * k)
+    if isinstance(stimulus, Pulse):
+        return Pulse(stimulus.v0, stimulus.v1, delay=stimulus.delay * k,
+                     rise=stimulus.rise * k, width=stimulus.width * k,
+                     fall=stimulus.fall * k)
+    if isinstance(stimulus, PWL):
+        return PWL([(t * k, v) for t, v in stimulus.points])
+    raise SkipCheck(f"cannot time-scale stimulus {type(stimulus).__name__}")
+
+
+def _value_scaled_circuit(circuit: Circuit, r_factor: float = 1.0,
+                          l_factor: float = 1.0, c_factor: float = 1.0) -> Circuit:
+    """A copy with every R/L/C multiplied by its factor (couplings are
+    dimensionless coefficients and carry over unchanged)."""
+    scaled = Circuit(circuit.title)
+    for element in circuit:
+        if isinstance(element, Resistor):
+            element = dataclasses.replace(
+                element, resistance=element.resistance * r_factor)
+        elif isinstance(element, Capacitor):
+            element = dataclasses.replace(
+                element, capacitance=element.capacitance * c_factor)
+        elif isinstance(element, Inductor):
+            element = dataclasses.replace(
+                element, inductance=element.inductance * l_factor)
+        scaled.add(element)
+    for coupling in circuit.mutual_inductances:
+        scaled.add_mutual_inductance(coupling.name, coupling.inductor_a,
+                                     coupling.inductor_b, coupling.coupling)
+    return scaled
+
+
+def _swing(waveform, window: float) -> float:
+    values = waveform.evaluate(np.linspace(0.0, window, 64))
+    return float(values.max() - values.min())
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+
+def check_awe_vs_transient(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    violations: list[str] = []
+    analyzer = AweAnalyzer(case.circuit, case.stimuli, max_order=config.max_order)
+    responses = {
+        node: analyzer.response(node, error_target=config.error_target,
+                                use_scaling=config.use_scaling)
+        for node in case.nodes
+    }
+    t_stop = max(r.waveform.suggested_window() for r in responses.values())
+    reference = simulate(case.circuit, case.stimuli, t_stop,
+                         refine_tolerance=case.refine_tolerance)
+    for node, response in responses.items():
+        ref = reference.voltage(node)
+        try:
+            error = l2_error(ref, response.waveform.to_waveform(ref.times))
+        except AnalysisError:
+            continue  # no transient at this node; nothing to compare
+        if not error < case.l2_bound:
+            violations.append(
+                f"node {node}: AWE (order {response.order}) vs TR-BDF2 "
+                f"relative L2 error {error:.4g} exceeds bound {case.l2_bound:g}"
+            )
+    return violations
+
+
+def check_linearity(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    alpha = 2.0
+    scaled_circuit = case.circuit.copy()
+    for cap in case.circuit.capacitors:
+        if cap.initial_voltage is not None:
+            scaled_circuit.set_initial_voltage(cap.name, cap.initial_voltage * alpha)
+    for ind in case.circuit.inductors:
+        if ind.initial_current is not None:
+            scaled_circuit.set_initial_current(ind.name, ind.initial_current * alpha)
+    scaled_stimuli = {name: _scaled_stimulus(stim, alpha)
+                      for name, stim in case.stimuli.items()}
+    violations: list[str] = []
+    for node in case.nodes:
+        base = _response(case, config, node)
+        scaled = _response(case, config, node,
+                           circuit=scaled_circuit, stimuli=scaled_stimuli)
+        window = base.waveform.suggested_window()
+        times = np.linspace(0.0, window, 120)
+        expected = alpha * base.waveform.evaluate(times)
+        actual = scaled.waveform.evaluate(times)
+        tolerance = 1e-6 * max(_swing(base.waveform, window) * alpha, 1e-12)
+        worst = float(np.abs(actual - expected).max())
+        if worst > tolerance:
+            violations.append(
+                f"node {node}: response is not homogeneous — scaling the "
+                f"stimulus by {alpha:g} perturbs the waveform by {worst:.3g} "
+                f"(tolerance {tolerance:.3g})"
+            )
+    return violations
+
+
+def check_impedance_scaling(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    k = 10.0
+    if any(ind.initial_current is not None for ind in case.circuit.inductors):
+        raise SkipCheck("inductor initial currents do not survive impedance scaling")
+    scaled_circuit = _value_scaled_circuit(case.circuit, r_factor=k,
+                                           l_factor=k, c_factor=1.0 / k)
+    violations: list[str] = []
+    for node in case.nodes:
+        base = _response(case, config, node)
+        scaled = _response(case, config, node, circuit=scaled_circuit)
+        window = base.waveform.suggested_window()
+        times = np.linspace(0.0, window, 120)
+        worst = float(np.abs(scaled.waveform.evaluate(times)
+                             - base.waveform.evaluate(times)).max())
+        tolerance = 1e-5 * max(_swing(base.waveform, window), 1e-12)
+        if worst > tolerance:
+            violations.append(
+                f"node {node}: impedance scaling (R,L×{k:g}, C÷{k:g}) moved "
+                f"the waveform by {worst:.3g} (tolerance {tolerance:.3g})"
+            )
+        if base.order == scaled.order and len(base.poles):
+            drift = float(np.abs(np.sort(scaled.poles) - np.sort(base.poles)).max())
+            scale = float(np.abs(base.poles).max())
+            # Pole extraction re-solves a differently conditioned Hankel
+            # system, and clustered poles move by eps^(1/m) under
+            # eps-perturbations of the moments; real covariance bugs move
+            # poles by O(1) factors, so 1e-3 relative keeps wide margin.
+            if drift > 1e-3 * scale:
+                violations.append(
+                    f"node {node}: impedance scaling moved the poles by "
+                    f"{drift:.3g} (relative to |p|max {scale:.3g})"
+                )
+    return violations
+
+
+def check_time_scaling(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    k = 3.0
+    scaled_circuit = _value_scaled_circuit(case.circuit, l_factor=k, c_factor=k)
+    scaled_stimuli = {name: _time_scaled_stimulus(stim, k)
+                      for name, stim in case.stimuli.items()}
+    violations: list[str] = []
+    for node in case.nodes:
+        base = _response(case, config, node)
+        scaled = _response(case, config, node,
+                           circuit=scaled_circuit, stimuli=scaled_stimuli)
+        window = base.waveform.suggested_window()
+        times = np.linspace(0.0, window, 120)
+        worst = float(np.abs(scaled.waveform.evaluate(k * times)
+                             - base.waveform.evaluate(times)).max())
+        tolerance = 1e-5 * max(_swing(base.waveform, window), 1e-12)
+        if worst > tolerance:
+            violations.append(
+                f"node {node}: time scaling (C,L×{k:g}) is not a pure "
+                f"time stretch — waveform moved by {worst:.3g} "
+                f"(tolerance {tolerance:.3g})"
+            )
+        if base.order == scaled.order and len(base.poles):
+            drift = float(np.abs(np.sort(scaled.poles) * k - np.sort(base.poles)).max())
+            scale = float(np.abs(base.poles).max())
+            if drift > 1e-3 * scale:
+                violations.append(
+                    f"node {node}: poles did not scale by 1/{k:g} under time "
+                    f"scaling (drift {drift:.3g} vs |p|max {scale:.3g})"
+                )
+    return violations
+
+
+def check_frequency_scaling(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    """Eq. 47 invariance: γ-scaling the moments must not change the
+    answer, only the conditioning.  The unscaled path legitimately fails
+    on stiff circuits (that failure is *why* the paper scales) — those
+    cases are skips, not violations."""
+    if not config.use_scaling:
+        raise SkipCheck("frequency scaling is ablated by the config")
+    violations: list[str] = []
+    compared = 0
+    for node in case.nodes:
+        base = _response(case, config, node)
+        try:
+            unscaled = AweAnalyzer(
+                case.circuit, case.stimuli, max_order=config.max_order
+            ).response(node, error_target=config.error_target, use_scaling=False)
+        except ReproError:
+            continue
+        if unscaled.order != base.order:
+            continue  # the unscaled escalation took a different route
+        compared += 1
+        window = base.waveform.suggested_window()
+        times = np.linspace(0.0, window, 120)
+        worst = float(np.abs(unscaled.waveform.evaluate(times)
+                             - base.waveform.evaluate(times)).max())
+        tolerance = 1e-5 * max(_swing(base.waveform, window), 1e-12)
+        if worst > tolerance:
+            violations.append(
+                f"node {node}: disabling eq. 47 frequency scaling changed the "
+                f"order-{base.order} waveform by {worst:.3g} "
+                f"(tolerance {tolerance:.3g})"
+            )
+    if not compared and not violations:
+        raise SkipCheck("unscaled solve unusable on every output (stiff case)")
+    return violations
+
+
+def check_elmore_first_order(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    if not case.is_rc_tree:
+        raise SkipCheck("Elmore equivalence only applies to RC trees")
+    delays = elmore_delays(case.circuit)
+    analyzer = AweAnalyzer(case.circuit, {case.source: Step(0.0, 1.0)},
+                           max_order=config.max_order)
+    violations: list[str] = []
+    for node in case.nodes:
+        response = analyzer.response(node, order=1,
+                                     use_scaling=config.use_scaling)
+        pole = float(response.poles[0].real)
+        elmore = delays[node]
+        if not np.isclose(-1.0 / pole, elmore, rtol=1e-8, atol=0.0):
+            violations.append(
+                f"node {node}: first-order AWE pole {pole:.6e} is not "
+                f"-1/T_Elmore (T_Elmore {elmore:.6e}, -1/p {-1.0 / pole:.6e})"
+            )
+    return violations
+
+
+def check_roundtrip(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    violations: list[str] = []
+    text = write_netlist(case.circuit, case.stimuli)
+    deck1 = parse_netlist(text)
+    if len(deck1.circuit) != len(case.circuit):
+        violations.append(
+            f"writer/parser round trip changed the element count: "
+            f"{len(case.circuit)} -> {len(deck1.circuit)}"
+        )
+    canon1 = canonical_deck(deck1.circuit, deck1.stimuli)
+    deck2 = parse_netlist(canon1)
+    canon2 = canonical_deck(deck2.circuit, deck2.stimuli)
+    if canon1 != canon2:
+        violations.append(
+            "canonical serialisation is not a fixed point: "
+            "write(parse(canonical)) differs from canonical"
+        )
+    if deck1.circuit.canonical_key() != deck2.circuit.canonical_key():
+        violations.append("canonical key changed across a canonical round trip")
+    for element in case.circuit:
+        clone = deck1.circuit[element.name]
+        for attr in ("resistance", "capacitance", "inductance"):
+            if hasattr(element, attr) and getattr(clone, attr) != getattr(element, attr):
+                violations.append(
+                    f"{element.name}: {attr} {getattr(element, attr)!r} "
+                    f"round-tripped to {getattr(clone, attr)!r}"
+                )
+    return violations
+
+
+def check_canonical_key(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    """The service cache key must not see deck-text degrees of freedom."""
+    rng = np.random.default_rng(case.seed + 0x5EED)
+    text = write_netlist(case.circuit, case.stimuli)
+    lines = text.splitlines()
+    title, cards, tail = lines[0], lines[1:-1], lines[-1]
+    # Magnetic couplings must stay after their inductors for the parser;
+    # shuffle only the plain element cards and keep K-cards at the end.
+    plain = [card for card in cards if not card.lower().startswith("k")]
+    couplings = [card for card in cards if card.lower().startswith("k")]
+    order = rng.permutation(len(plain))
+    shuffled = "\n".join(
+        ["a completely different title", "* a comment the parser must ignore"]
+        + ["  " + plain[i] for i in order]
+        + couplings + [tail]
+    ) + "\n"
+    deck_original = parse_netlist(text)
+    deck_shuffled = parse_netlist(shuffled)
+
+    def key(deck):
+        return request_key(deck.circuit, deck.stimuli, case.nodes,
+                           error_target=config.error_target,
+                           max_order=config.max_order)
+
+    if key(deck_original) != key(deck_shuffled):
+        return ["request_key differs across card shuffling / comments / "
+                "title changes of an identical deck"]
+    return []
+
+
+def check_batch_vs_sequential(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    options = {"use_scaling": config.use_scaling}
+    job = AweJob(case.circuit, case.nodes, stimuli=case.stimuli,
+                 error_target=config.error_target, max_order=config.max_order,
+                 response_options=options)
+    result = BatchEngine().run([job], workers=1)[0]
+    if not result.ok:
+        return [f"batch engine failed where the sequential path works: "
+                f"[{result.error_type}] {result.error}"]
+    analyzer = AweAnalyzer(case.circuit, case.stimuli, max_order=config.max_order)
+    violations: list[str] = []
+    for node in case.nodes:
+        expected = analyzer.response(node, error_target=config.error_target,
+                                     **options)
+        actual = result.responses[node]
+        if not np.array_equal(expected.poles, actual.poles):
+            violations.append(f"node {node}: batch poles differ from sequential")
+            continue
+        times = np.linspace(0.0, expected.waveform.suggested_window(), 200)
+        if not np.array_equal(expected.waveform.evaluate(times),
+                              actual.waveform.evaluate(times)):
+            violations.append(
+                f"node {node}: batch waveform is not bit-identical to sequential"
+            )
+    return violations
+
+
+#: The registry, in the order the runner executes them: cheap structural
+#: checks first, the differential oracle last (it dominates wall time).
+CHECKS: dict = {
+    "roundtrip": check_roundtrip,
+    "canonical_key": check_canonical_key,
+    "elmore_first_order": check_elmore_first_order,
+    "linearity": check_linearity,
+    "impedance_scaling": check_impedance_scaling,
+    "time_scaling": check_time_scaling,
+    "frequency_scaling": check_frequency_scaling,
+    "batch_vs_sequential": check_batch_vs_sequential,
+    "awe_vs_transient": check_awe_vs_transient,
+}
+
+
+def run_check(name: str, case: FuzzCase, config: FuzzConfig) -> list[str]:
+    """Run one named check; raises ``KeyError`` for unknown names and
+    :class:`SkipCheck` when the check does not apply."""
+    return CHECKS[name](case, config)

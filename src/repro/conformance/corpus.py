@@ -1,0 +1,118 @@
+"""The persisted regression corpus (``tests/corpus/*.json``).
+
+Every interesting failure the fuzzer ever finds is distilled — usually
+through the shrinker — into a small, *self-contained* JSON entry: the
+netlist text itself is stored, so replay does not depend on the
+generators staying bit-stable across releases.  The tier-1 suite replays
+every entry and asserts its check now passes; a corpus entry is a bug
+that must stay fixed.
+
+Entries are written with sorted keys and a trailing newline so the files
+are diff-friendly and a re-export is byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.circuit.parser import parse_netlist
+from repro.conformance.checks import FuzzConfig, SkipCheck, run_check
+from repro.conformance.generate import FuzzCase
+from repro.errors import ReproError
+
+CORPUS_SCHEMA = "repro.fuzz-corpus/1"
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One distilled regression case: a netlist plus the check it must pass."""
+
+    name: str
+    check: str
+    netlist: str
+    nodes: tuple[str, ...]
+    source: str
+    seed: int = 0
+    family: str = ""
+    description: str = ""
+    is_rc_tree: bool = False
+    l2_bound: float = 0.02
+    refine_tolerance: float = 3e-4
+    use_scaling: bool = True
+    error_target: float = 0.005
+    max_order: int = 8
+
+    def config(self) -> FuzzConfig:
+        return FuzzConfig(checks=(self.check,), use_scaling=self.use_scaling,
+                          error_target=self.error_target,
+                          max_order=self.max_order)
+
+    def to_case(self) -> FuzzCase:
+        deck = parse_netlist(self.netlist)
+        return FuzzCase(
+            seed=self.seed, family=self.family or "corpus",
+            circuit=deck.circuit, stimuli=deck.stimuli,
+            nodes=self.nodes, source=self.source,
+            is_rc_tree=self.is_rc_tree, l2_bound=self.l2_bound,
+            refine_tolerance=self.refine_tolerance,
+        )
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["nodes"] = list(self.nodes)
+        payload["schema"] = CORPUS_SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorpusEntry":
+        data = dict(payload)
+        schema = data.pop("schema", CORPUS_SCHEMA)
+        if schema != CORPUS_SCHEMA:
+            raise ReproError(f"unsupported corpus schema {schema!r} "
+                             f"(expected {CORPUS_SCHEMA!r})")
+        data["nodes"] = tuple(data.get("nodes", ()))
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ReproError(
+                f"corpus entry has unknown fields: {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+
+def replay_entry(entry: CorpusEntry) -> list[str]:
+    """Re-run the entry's check against its stored netlist.
+
+    Returns the violation list (empty = the bug is still fixed); a check
+    that no longer applies counts as passing.
+    """
+    try:
+        return run_check(entry.check, entry.to_case(), entry.config())
+    except SkipCheck:
+        return []
+
+
+def write_entry(entry: CorpusEntry, directory: pathlib.Path | str) -> pathlib.Path:
+    """Persist the entry as ``<directory>/<name>.json`` (deterministic bytes)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: pathlib.Path | str) -> list[CorpusEntry]:
+    """All entries under ``directory``, sorted by file name."""
+    directory = pathlib.Path(directory)
+    entries: list[CorpusEntry] = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            entries.append(CorpusEntry.from_dict(payload))
+        except (TypeError, ReproError) as exc:
+            raise ReproError(f"invalid corpus entry {path.name}: {exc}") from exc
+    return entries

@@ -1,0 +1,267 @@
+"""Seeded generation of whole-pipeline fuzz cases.
+
+Every case is a pure function of its integer seed: the same seed always
+produces the same family, circuit, stimuli, and output nodes, so a crash
+report is replayable by seed alone.  Families compose the
+:mod:`repro.papercircuits.generators` building blocks and extend them
+with the stress regimes the generators do not cover on their own:
+trapped-charge initial conditions, capacitor-only floating groups, and
+near-degenerate element values (wide-spread "stiff" chains and clustered
+time constants — the regimes the paper's frequency scaling, eq. 47, and
+stability screening, Sec. 3.3, exist for).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.sources import Ramp, Step, Stimulus
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+from repro.papercircuits.generators import (
+    clock_h_tree,
+    coupled_rc_lines,
+    magnetically_coupled_lines,
+    random_rc_tree,
+    rc_ladder,
+    rc_mesh,
+    rlc_transmission_ladder,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzCase:
+    """One generated pipeline input plus the metadata checks key on.
+
+    ``nodes`` are the outputs the checkers examine; ``source`` the
+    driving stimulus source.  ``is_rc_tree`` gates the tree-only
+    invariants (Elmore equivalence); ``l2_bound`` / ``refine_tolerance``
+    are the family-calibrated differential-oracle settings (oscillatory
+    RLC references need a looser integration tolerance than monotone RC
+    responses, and their AWE fits carry more approximation error).
+    """
+
+    seed: int
+    family: str
+    circuit: Circuit
+    stimuli: dict[str, Stimulus]
+    nodes: tuple[str, ...]
+    source: str
+    is_rc_tree: bool = False
+    l2_bound: float = 0.02
+    refine_tolerance: float = 3e-4
+
+
+def _swing(rng: np.random.Generator) -> float:
+    return float(rng.uniform(0.5, 5.0))
+
+
+def _stimulus(rng: np.random.Generator, allow_ramp: bool = True) -> Stimulus:
+    """A random step — or, 30 % of the time, a finite-rise ramp (which
+    exercises the multi-subproblem event superposition of Sec. 4.3)."""
+    v1 = _swing(rng)
+    if allow_ramp and rng.random() < 0.3:
+        return Ramp(0.0, v1, rise_time=float(10 ** rng.uniform(-10.5, -9.0)))
+    delay = float(10 ** rng.uniform(-11, -9.5)) if rng.random() < 0.2 else 0.0
+    return Step(0.0, v1, delay=delay)
+
+
+def _case_rc_tree(seed: int, rng: np.random.Generator) -> FuzzCase:
+    nodes = int(rng.integers(2, 13))
+    circuit = random_rc_tree(nodes, seed=int(rng.integers(0, 10**6)))
+    outputs = (str(nodes), str(int(rng.integers(1, nodes + 1))))
+    return FuzzCase(seed, "rc_tree", circuit, {"Vin": _stimulus(rng)},
+                    tuple(dict.fromkeys(outputs)), "Vin", is_rc_tree=True)
+
+
+def _case_rc_ladder(seed: int, rng: np.random.Generator) -> FuzzCase:
+    sections = int(rng.integers(1, 11))
+    circuit = rc_ladder(
+        sections,
+        resistance=float(10 ** rng.uniform(1.0, 3.5)),
+        capacitance=float(10 ** rng.uniform(-14.5, -12.0)),
+    )
+    return FuzzCase(seed, "rc_ladder", circuit, {"Vin": _stimulus(rng)},
+                    (str(sections),), "Vin", is_rc_tree=True)
+
+
+def _case_rc_mesh(seed: int, rng: np.random.Generator) -> FuzzCase:
+    rows = int(rng.integers(2, 5))
+    cols = int(rng.integers(2, 5))
+    circuit = rc_mesh(
+        rows, cols,
+        resistance=float(rng.uniform(50.0, 300.0)),
+        capacitance=float(rng.uniform(20e-15, 200e-15)),
+    )
+    return FuzzCase(seed, "rc_mesh", circuit, {"Vin": _stimulus(rng)},
+                    (f"n{rows - 1}_{cols - 1}",), "Vin")
+
+
+def _case_clock_tree(seed: int, rng: np.random.Generator) -> FuzzCase:
+    levels = int(rng.integers(1, 4))
+    imbalance = float(rng.uniform(0.0, 0.3))
+    circuit = clock_h_tree(
+        levels,
+        taper=float(rng.uniform(0.5, 0.95)),
+        imbalance_seed=int(rng.integers(0, 10**6)),
+        imbalance=imbalance,
+    )
+    leaves = 2 ** levels
+    outputs = ("leaf0", f"leaf{leaves - 1}") if leaves > 1 else ("leaf0",)
+    return FuzzCase(seed, "clock_tree", circuit,
+                    {"Vclk": _stimulus(rng)}, outputs, "Vclk",
+                    is_rc_tree=True)
+
+
+def _case_stiff_chain(seed: int, rng: np.random.Generator) -> FuzzCase:
+    """Near-degenerate values, wide-spread flavour: per-section R and C
+    drawn log-uniformly over three decades each, so time constants span
+    up to ~10⁶ — the stiff regime where unscaled moments underflow the
+    Hankel solve (the fig. 16 scenario, generalised)."""
+    sections = int(rng.integers(2, 7))
+    circuit = Circuit(f"stiff chain (n={sections}, seed={seed})")
+    circuit.add_voltage_source("Vin", "in", "0")
+    previous = "in"
+    for i in range(1, sections + 1):
+        node = str(i)
+        circuit.add_resistor(f"R{i}", previous, node,
+                             float(10 ** rng.uniform(1.0, 4.0)))
+        circuit.add_capacitor(f"C{i}", node, "0",
+                              float(10 ** rng.uniform(-14.0, -11.0)))
+        previous = node
+    return FuzzCase(seed, "stiff_chain", circuit,
+                    {"Vin": _stimulus(rng, allow_ramp=False)},
+                    (str(sections),), "Vin", is_rc_tree=True)
+
+
+def _case_clustered(seed: int, rng: np.random.Generator) -> FuzzCase:
+    """Near-degenerate values, clustered flavour: a uniform ladder with
+    parts-per-thousand perturbations, so the natural frequencies crowd
+    together and the Padé Hankel system is nearly rank-deficient."""
+    sections = int(rng.integers(3, 9))
+    circuit = Circuit(f"clustered ladder (n={sections}, seed={seed})")
+    circuit.add_voltage_source("Vin", "in", "0")
+    previous = "in"
+    for i in range(1, sections + 1):
+        node = str(i)
+        wobble = 1.0 + float(rng.uniform(-1e-3, 1e-3))
+        circuit.add_resistor(f"R{i}", previous, node, 200.0 * wobble)
+        circuit.add_capacitor(f"C{i}", node, "0", 100e-15 * wobble)
+        previous = node
+    return FuzzCase(seed, "clustered", circuit,
+                    {"Vin": _stimulus(rng)}, (str(sections),), "Vin",
+                    is_rc_tree=True)
+
+
+def _case_trapped_charge(seed: int, rng: np.random.Generator) -> FuzzCase:
+    """A random RC tree released from a nonequilibrium state: a few
+    capacitors pre-charged (paper Sec. 5.2 charge sharing)."""
+    nodes = int(rng.integers(3, 11))
+    circuit = random_rc_tree(nodes, seed=int(rng.integers(0, 10**6)))
+    n_charged = int(rng.integers(1, min(nodes, 4)))
+    for index in rng.choice(np.arange(1, nodes + 1), size=n_charged, replace=False):
+        circuit.set_initial_voltage(f"C{int(index)}", float(rng.uniform(-5.0, 5.0)))
+    # Charge-release waveforms are non-monotone, where the (q+1)-vs-q
+    # escalation estimate is weakest — calibrated bound 0.05.
+    return FuzzCase(seed, "trapped_charge", circuit,
+                    {"Vin": _stimulus(rng, allow_ramp=False)},
+                    (str(nodes),), "Vin", l2_bound=0.05)
+
+
+def _case_floating_cap(seed: int, rng: np.random.Generator) -> FuzzCase:
+    """An RC tree with a capacitor-only island hanging off it: the
+    floating node is reachable only through capacitors, so its voltage is
+    set by charge conservation (paper Fig. 22 generalised)."""
+    nodes = int(rng.integers(2, 8))
+    circuit = random_rc_tree(nodes, seed=int(rng.integers(0, 10**6)))
+    attach = str(int(rng.integers(1, nodes + 1)))
+    circuit.add_capacitor("Ccouple", attach, "f",
+                          float(rng.uniform(0.1e-12, 1e-12)))
+    circuit.add_capacitor("Cfloat", "f", "0", float(rng.uniform(0.5e-12, 4e-12)))
+    # No IC on the island: a pre-charged Cfloat closes a capacitive loop
+    # with Ccouple whose inconsistent ICs AWE rejects by design.
+    return FuzzCase(seed, "floating_cap", circuit,
+                    {"Vin": _stimulus(rng, allow_ramp=False)},
+                    (str(nodes), "f"), "Vin")
+
+
+def _case_coupled_rc(seed: int, rng: np.random.Generator) -> FuzzCase:
+    sections = int(rng.integers(1, 6))
+    circuit = coupled_rc_lines(
+        sections,
+        resistance=float(rng.uniform(50.0, 300.0)),
+        capacitance=float(rng.uniform(20e-15, 150e-15)),
+        coupling=float(rng.uniform(5e-15, 60e-15)),
+    )
+    # The victim line is quiet (driven by an idle Vvic); the aggressor's
+    # far end is the differential output.
+    return FuzzCase(seed, "coupled_rc", circuit,
+                    {"Vagg": _stimulus(rng, allow_ramp=False)},
+                    (f"a{sections}",), "Vagg", l2_bound=0.08)
+
+
+def _case_rlc_line(seed: int, rng: np.random.Generator) -> FuzzCase:
+    sections = int(rng.integers(1, 4))
+    circuit = rlc_transmission_ladder(
+        sections,
+        r_per_section=float(rng.uniform(0.5, 3.0)),
+        l_per_section=float(rng.uniform(1e-9, 4e-9)),
+        c_per_section=float(rng.uniform(0.5e-12, 2e-12)),
+        r_source=float(rng.uniform(15.0, 60.0)),
+    )
+    return FuzzCase(seed, "rlc_line", circuit,
+                    {"Vin": _stimulus(rng, allow_ramp=False)},
+                    (str(sections),), "Vin",
+                    l2_bound=0.05, refine_tolerance=1e-3)
+
+
+def _case_coupled_rlc(seed: int, rng: np.random.Generator) -> FuzzCase:
+    sections = int(rng.integers(1, 3))
+    circuit = magnetically_coupled_lines(
+        sections,
+        inductive_k=float(rng.uniform(0.1, 0.5)),
+        c_coupling=float(rng.uniform(20e-15, 150e-15)),
+    )
+    return FuzzCase(seed, "coupled_rlc", circuit,
+                    {"Vagg": _stimulus(rng, allow_ramp=False)},
+                    (f"a{sections}",), "Vagg",
+                    l2_bound=0.05, refine_tolerance=1e-3)
+
+
+#: Family name → (builder, selection weight).  Weights bias toward the
+#: cheap RC families so a 200-seed run stays fast; the expensive
+#: oscillatory families still appear on every run of that size.
+FAMILIES: dict = {
+    "rc_tree": (_case_rc_tree, 0.18),
+    "rc_ladder": (_case_rc_ladder, 0.12),
+    "rc_mesh": (_case_rc_mesh, 0.13),
+    "clock_tree": (_case_clock_tree, 0.10),
+    "stiff_chain": (_case_stiff_chain, 0.15),
+    "clustered": (_case_clustered, 0.08),
+    "trapped_charge": (_case_trapped_charge, 0.08),
+    "floating_cap": (_case_floating_cap, 0.06),
+    "coupled_rc": (_case_coupled_rc, 0.05),
+    "rlc_line": (_case_rlc_line, 0.03),
+    "coupled_rlc": (_case_coupled_rlc, 0.02),
+}
+
+
+def generate_case(seed: int, family: str | None = None) -> FuzzCase:
+    """Deterministically build the fuzz case for ``seed``.
+
+    ``family`` forces a specific family (same seed → same circuit within
+    that family); by default the family itself is drawn from the seed.
+    """
+    if family is not None and family not in FAMILIES:
+        raise CircuitError(
+            f"unknown fuzz family {family!r}; known: {', '.join(sorted(FAMILIES))}"
+        )
+    rng = np.random.default_rng(seed)
+    if family is None:
+        names = list(FAMILIES)
+        weights = np.array([FAMILIES[name][1] for name in names])
+        family = str(rng.choice(names, p=weights / weights.sum()))
+    builder = FAMILIES[family][0]
+    return builder(seed, rng)

@@ -1,0 +1,131 @@
+"""The fuzz-campaign driver: seeds → cases → checks → structured report.
+
+The report is a plain dict designed to serialise to *byte-identical*
+JSON across re-runs of the same seed range: it contains no timestamps,
+no wall-clock durations, no absolute paths — only seed-derived content.
+``python -m repro fuzz --report`` dumps it with sorted keys, so two runs
+of the same command can be diffed (or hashed) directly.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable, Iterable
+
+from repro.circuit.writer import write_netlist
+from repro.conformance.checks import FuzzConfig, SkipCheck, run_check
+from repro.conformance.generate import generate_case
+from repro.conformance.shrink import shrink_case
+
+REPORT_SCHEMA = "repro.fuzz-report/1"
+
+
+def _error_record(exc: BaseException) -> dict:
+    frames = traceback.extract_tb(exc.__traceback__)
+    location = f"{frames[-1].name}:{frames[-1].lineno}" if frames else ""
+    return {"type": type(exc).__name__, "message": str(exc), "where": location}
+
+
+def run_fuzz(
+    seeds: Iterable[int],
+    config: FuzzConfig = FuzzConfig(),
+    family: str | None = None,
+    shrink: bool = False,
+    max_shrink_evaluations: int = 400,
+    progress: Callable[[dict], None] | None = None,
+) -> dict:
+    """Run every check over every seed and return the campaign report.
+
+    ``family`` pins all seeds to one generator family.  With ``shrink``
+    each failure is delta-debugged down to a minimal netlist before it is
+    recorded.  ``progress`` (if given) receives one summary dict per
+    case as it completes — the CLI uses it for live output; it does not
+    affect the report.
+    """
+    check_names = config.check_names()
+    totals = {"cases": 0, "checks": 0, "passes": 0, "skips": 0,
+              "violations": 0, "crashes": 0}
+    families: dict[str, int] = {}
+    failures: list[dict] = []
+    seed_list: list[int] = []
+
+    for seed in seeds:
+        seed = int(seed)
+        seed_list.append(seed)
+        totals["cases"] += 1
+        case_failures = 0
+        try:
+            case = generate_case(seed, family=family)
+        except Exception as exc:  # a generator crash is itself a finding
+            totals["crashes"] += 1
+            failures.append({
+                "seed": seed, "family": family, "check": "generate",
+                "kind": "crash", "error": _error_record(exc),
+            })
+            if progress is not None:
+                progress({"seed": seed, "family": family,
+                          "failures": 1, "checks": 0})
+            continue
+        families[case.family] = families.get(case.family, 0) + 1
+
+        for name in check_names:
+            totals["checks"] += 1
+            record: dict | None = None
+            try:
+                violations = run_check(name, case, config)
+            except SkipCheck:
+                totals["skips"] += 1
+                continue
+            except Exception as exc:
+                totals["crashes"] += 1
+                record = {"seed": seed, "family": case.family, "check": name,
+                          "kind": "crash", "error": _error_record(exc)}
+            else:
+                if violations:
+                    totals["violations"] += 1
+                    record = {"seed": seed, "family": case.family,
+                              "check": name, "kind": "violation",
+                              "violations": list(violations)}
+                else:
+                    totals["passes"] += 1
+            if record is None:
+                continue
+            case_failures += 1
+            record["nodes"] = list(case.nodes)
+            record["netlist"] = write_netlist(
+                case.circuit, case.stimuli,
+                title=f"fuzz seed={seed} family={case.family}",
+                canonical=True)
+            if shrink:
+                try:
+                    record["shrunk"] = shrink_case(
+                        case, config, name,
+                        max_evaluations=max_shrink_evaluations).as_dict()
+                except Exception as exc:
+                    record["shrunk"] = {"error": _error_record(exc)}
+            failures.append(record)
+
+        if progress is not None:
+            progress({"seed": seed, "family": case.family,
+                      "failures": case_failures, "checks": len(check_names)})
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "config": {
+            "checks": list(check_names),
+            "use_scaling": config.use_scaling,
+            "error_target": config.error_target,
+            "max_order": config.max_order,
+            "family": family,
+            "shrink": shrink,
+        },
+        "seeds": {
+            "count": len(seed_list),
+            "first": seed_list[0] if seed_list else None,
+            "last": seed_list[-1] if seed_list else None,
+        },
+        "families": dict(sorted(families.items())),
+        "totals": totals,
+        "failures": failures,
+        "ok": totals["violations"] == 0 and totals["crashes"] == 0,
+    }

@@ -1,0 +1,252 @@
+"""Delta-debugging netlist shrinker: failing fuzz case → minimal circuit.
+
+Classic ddmin over the circuit's elements (and magnetic couplings),
+followed by a value-simplification pass that rounds surviving element
+values to one significant digit.  A candidate reduction is kept only
+when it *still fails the same way*: same check, same failure signature —
+a violation stays a violation, a crash stays the same exception type.
+Candidates that are structurally invalid (dangling output, no ground
+path, singular DC) simply fail validation inside the pipeline and are
+discarded; they never masquerade as the bug.
+
+The shrinker re-runs the full check per candidate, so its cost is
+bounded by ``max_evaluations`` — for the small circuits the fuzzer
+generates, a complete shrink is typically a few dozen evaluations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.elements import GROUND, Inductor, Resistor
+from repro.circuit.netlist import Circuit
+from repro.circuit.writer import write_netlist
+from repro.conformance.checks import FuzzConfig, SkipCheck, run_check
+from repro.conformance.generate import FuzzCase
+from repro.errors import ReproError
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal reproduction the shrinker converged to."""
+
+    case: FuzzCase
+    netlist: str
+    elements: int          # elements + couplings in the reduced circuit
+    evaluations: int       # pipeline runs spent shrinking
+    violations: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "netlist": self.netlist,
+            "elements": self.elements,
+            "evaluations": self.evaluations,
+            "nodes": list(self.case.nodes),
+            "violations": list(self.violations),
+        }
+
+
+def failure_signature(check: str, case: FuzzCase, config: FuzzConfig):
+    """``("violation", messages)`` / ``("raise", type_name)`` / None (pass)."""
+    try:
+        violations = run_check(check, case, config)
+    except SkipCheck:
+        return None
+    except Exception as exc:
+        return ("raise", type(exc).__name__)
+    return ("violation", tuple(violations)) if violations else None
+
+
+def _items_of(circuit: Circuit) -> list[tuple[str, object]]:
+    return ([("element", element) for element in circuit]
+            + [("coupling", coupling) for coupling in circuit.mutual_inductances])
+
+
+def _build(title: str, items: list[tuple[str, object]]) -> Circuit | None:
+    """Reassemble a circuit from kept items; None when the subset cannot
+    even be assembled (a coupling whose inductor was dropped)."""
+    circuit = Circuit(title)
+    kept_names = {item.name for kind, item in items if kind == "element"}
+    try:
+        for kind, item in items:
+            if kind == "element":
+                circuit.add(item)
+        for kind, item in items:
+            if kind == "coupling":
+                if item.inductor_a not in kept_names or item.inductor_b not in kept_names:
+                    return None
+                circuit.add_mutual_inductance(
+                    item.name, item.inductor_a, item.inductor_b, item.coupling)
+    except ReproError:
+        return None
+    return circuit
+
+
+def _candidate_case(case: FuzzCase, circuit: Circuit,
+                    wanted_nodes: tuple[str, ...]) -> FuzzCase | None:
+    nodes = tuple(node for node in wanted_nodes if circuit.has_node(node))
+    if not nodes:
+        return None
+    source_names = {source.name for source in circuit.voltage_sources}
+    source_names |= {source.name for source in circuit.current_sources}
+    if case.source not in source_names:
+        return None
+    stimuli = {name: stim for name, stim in case.stimuli.items()
+               if name in source_names}
+    return dataclasses.replace(case, circuit=circuit, stimuli=stimuli, nodes=nodes)
+
+
+def _round_value(value: float) -> float:
+    return float(f"{value:.0e}")
+
+
+def _rename_node(pair: tuple[str, object], drop: str, keep: str):
+    """The item with node ``drop`` renamed to ``keep``; None when the
+    rename shorts the element into a self-loop (i.e. it disappears)."""
+    kind, item = pair
+    if kind != "element":
+        return pair  # couplings reference inductor names, not nodes
+    changes = {attr: keep
+               for attr in ("positive", "negative", "ctrl_positive", "ctrl_negative")
+               if getattr(item, attr, None) == drop}
+    if not changes:
+        return pair
+    positive = changes.get("positive", item.positive)
+    negative = changes.get("negative", item.negative)
+    if positive == negative:
+        return None
+    return (kind, dataclasses.replace(item, **changes))
+
+
+def shrink_case(
+    case: FuzzCase,
+    config: FuzzConfig,
+    check: str,
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Reduce ``case`` to a minimal circuit that still fails ``check``.
+
+    Raises ``ValueError`` when the original case does not fail the check
+    (there is nothing to shrink).
+    """
+    original = failure_signature(check, case, config)
+    if original is None:
+        raise ValueError(f"case seed={case.seed} does not fail check {check!r}")
+    target_kind = original[0]
+    target_type = original[1] if target_kind == "raise" else None
+    evaluations = 0
+
+    def interesting(items: list[tuple[str, object]],
+                    wanted_nodes: tuple[str, ...]) -> FuzzCase | None:
+        nonlocal evaluations
+        if evaluations >= max_evaluations:
+            return None
+        circuit = _build(case.circuit.title, items)
+        if circuit is None:
+            return None
+        candidate = _candidate_case(case, circuit, wanted_nodes)
+        if candidate is None:
+            return None
+        evaluations += 1
+        signature = failure_signature(check, candidate, config)
+        if signature is None:
+            return None
+        kind = signature[0]
+        if kind != target_kind:
+            return None
+        if kind == "raise" and signature[1] != target_type:
+            return None
+        return candidate
+
+    items = _items_of(case.circuit)
+    nodes = case.nodes
+    best = case
+
+    def ddmin() -> None:
+        """Phase 1: classic ddmin subset removal over elements+couplings."""
+        nonlocal items, best
+        granularity = 2
+        while len(items) >= 2 and evaluations < max_evaluations:
+            chunk = max(1, len(items) // granularity)
+            reduced = False
+            for start in range(0, len(items), chunk):
+                complement = items[:start] + items[start + chunk:]
+                if not complement:
+                    continue
+                candidate = interesting(complement, nodes)
+                if candidate is not None:
+                    items = complement
+                    best = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if chunk == 1:
+                    break
+                granularity = min(len(items), granularity * 2)
+
+    def contract() -> None:
+        """Phase 2: series contraction — drop an R/L and merge its two
+        nodes, so chains actually get shorter (plain subset removal can
+        only disconnect them).  Elements shorted into self-loops by the
+        merge vanish along with it."""
+        nonlocal items, nodes, best
+        changed = True
+        while changed and evaluations < max_evaluations:
+            changed = False
+            for index, (kind, item) in enumerate(items):
+                if kind != "element" or not isinstance(item, (Resistor, Inductor)):
+                    continue
+                for keep, drop in ((item.positive, item.negative),
+                                   (item.negative, item.positive)):
+                    if drop == GROUND:
+                        continue
+                    renamed = [_rename_node(pair, drop, keep)
+                               for j, pair in enumerate(items) if j != index]
+                    renamed = [pair for pair in renamed if pair is not None]
+                    new_nodes = tuple(dict.fromkeys(
+                        keep if node == drop else node for node in nodes))
+                    candidate = interesting(renamed, new_nodes)
+                    if candidate is not None:
+                        items, nodes, best = renamed, candidate.nodes, candidate
+                        changed = True
+                        break
+                if changed:
+                    break
+
+    ddmin()
+    contract()
+    ddmin()  # contraction may expose further removable elements
+
+    # -- phase 3: one-significant-digit value simplification -----------
+    for index, (kind, item) in enumerate(list(items)):
+        if kind != "element" or evaluations >= max_evaluations:
+            continue
+        for attr in ("resistance", "capacitance", "inductance"):
+            value = getattr(item, attr, None)
+            if value is None:
+                continue
+            rounded = _round_value(value)
+            if rounded == value or rounded <= 0.0:
+                continue
+            simplified = dataclasses.replace(item, **{attr: rounded})
+            candidate_items = list(items)
+            candidate_items[index] = (kind, simplified)
+            candidate = interesting(candidate_items, nodes)
+            if candidate is not None:
+                items = candidate_items
+                item = simplified
+                best = candidate
+
+    final = failure_signature(check, best, config)
+    violations = (final[1] if final and final[0] == "violation"
+                  else (f"raises {target_type}",))
+    return ShrinkResult(
+        case=best,
+        netlist=write_netlist(best.circuit, best.stimuli,
+                              title=f"shrunk seed={case.seed} check={check}",
+                              canonical=True),
+        elements=len(best.circuit) + len(best.circuit.mutual_inductances),
+        evaluations=evaluations,
+        violations=tuple(violations),
+    )

@@ -13,10 +13,39 @@ Generators take explicit numeric parameters plus, where randomised, a
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.circuit.netlist import Circuit
 from repro.errors import CircuitError
+
+
+def _require_positive(value: float, what: str) -> None:
+    """Generators validate their numeric parameters *before* building
+    anything: a non-positive or non-finite element value would otherwise
+    surface much later as a singular MNA system (or, for a randomised
+    range, only on the unlucky seeds that draw the bad value)."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise CircuitError(f"{what} must be a number, got {value!r}")
+    if not (math.isfinite(value) and value > 0):
+        raise CircuitError(f"{what} must be positive and finite, got {value!r}")
+
+
+def _require_positive_range(bounds: tuple[float, float], what: str) -> None:
+    try:
+        low, high = bounds
+    except (TypeError, ValueError):
+        raise CircuitError(f"{what} must be a (low, high) pair, got {bounds!r}") from None
+    _require_positive(low, f"{what} lower bound")
+    _require_positive(high, f"{what} upper bound")
+    if high < low:
+        raise CircuitError(f"{what} bounds are reversed: {low!r} > {high!r}")
+
+
+def _require_sections(count: int, what: str) -> None:
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise CircuitError(f"{what}, got {count!r}")
 
 
 def rc_ladder(
@@ -29,8 +58,9 @@ def rc_ladder(
 
     ``Vin — R — 1 — R — 2 … — R — <sections>``, a capacitor at every node.
     """
-    if sections < 1:
-        raise CircuitError("an RC ladder needs at least one section")
+    _require_sections(sections, "an RC ladder needs at least one section")
+    _require_positive(resistance, "rc_ladder resistance")
+    _require_positive(capacitance, "rc_ladder capacitance")
     ckt = Circuit(name)
     ckt.add_voltage_source("Vin", "in", "0")
     previous = "in"
@@ -56,8 +86,9 @@ def random_rc_tree(
     property-based tests can compare the Elmore tree walk, tree/link
     analysis, and first-order AWE on arbitrary instances.
     """
-    if nodes < 1:
-        raise CircuitError("a tree needs at least one node")
+    _require_sections(nodes, "a tree needs at least one node")
+    _require_positive_range(r_range, "random_rc_tree r_range")
+    _require_positive_range(c_range, "random_rc_tree c_range")
     rng = np.random.default_rng(seed)
     ckt = Circuit(f"random RC tree (n={nodes}, seed={seed})")
     ckt.add_voltage_source("Vin", "in", "0")
@@ -85,8 +116,10 @@ def rc_mesh(
     Lin–Mead); AWE handles it where the tree walk cannot.  The source
     drives the (0, 0) corner.
     """
-    if rows < 1 or cols < 1:
-        raise CircuitError("mesh needs at least one row and one column")
+    _require_sections(rows, "mesh needs at least one row")
+    _require_sections(cols, "mesh needs at least one column")
+    _require_positive(resistance, "rc_mesh resistance")
+    _require_positive(capacitance, "rc_mesh capacitance")
     ckt = Circuit(f"{rows}x{cols} RC mesh")
     ckt.add_voltage_source("Vin", "in", "0")
 
@@ -117,8 +150,11 @@ def rlc_transmission_ladder(
     Each section is series R+L followed by a shunt C; ``r_source`` is the
     driver impedance that sets the damping.
     """
-    if sections < 1:
-        raise CircuitError("a transmission ladder needs at least one section")
+    _require_sections(sections, "a transmission ladder needs at least one section")
+    _require_positive(r_per_section, "rlc ladder r_per_section")
+    _require_positive(l_per_section, "rlc ladder l_per_section")
+    _require_positive(c_per_section, "rlc ladder c_per_section")
+    _require_positive(r_source, "rlc ladder r_source")
     ckt = Circuit(name)
     ckt.add_voltage_source("Vin", "in", "0")
     ckt.add_resistor("Rs", "in", "a0", r_source)
@@ -150,8 +186,17 @@ def clock_h_tree(
     (with a seed) perturbs segment values uniformly by ±that fraction to
     create the skew a clock designer must bound.
     """
-    if levels < 1:
-        raise CircuitError("a clock tree needs at least one branching level")
+    _require_sections(levels, "a clock tree needs at least one branching level")
+    _require_positive(r_segment, "clock_h_tree r_segment")
+    _require_positive(c_segment, "clock_h_tree c_segment")
+    _require_positive(leaf_load, "clock_h_tree leaf_load")
+    _require_positive(taper, "clock_h_tree taper")
+    if not (isinstance(imbalance, (int, float)) and 0.0 <= imbalance < 1.0):
+        # At imbalance >= 1 a jitter draw can reach zero or below, turning a
+        # segment resistance non-positive — a singular deck, not a skewed one.
+        raise CircuitError(
+            f"clock_h_tree imbalance must be in [0, 1), got {imbalance!r}"
+        )
     rng = np.random.default_rng(imbalance_seed) if imbalance_seed is not None else None
 
     def jitter() -> float:
@@ -207,8 +252,18 @@ def magnetically_coupled_lines(
     bridged by a coupling capacitor.  Aggressor nodes ``a1…aN``, victim
     nodes ``v1…vN``.
     """
-    if sections < 1:
-        raise CircuitError("coupled lines need at least one section")
+    _require_sections(sections, "coupled lines need at least one section")
+    for value, what in (
+        (r_per_section, "r_per_section"), (l_per_section, "l_per_section"),
+        (c_per_section, "c_per_section"), (r_source, "r_source"),
+        (r_victim_term, "r_victim_term"), (c_coupling, "c_coupling"),
+    ):
+        _require_positive(value, f"magnetically_coupled_lines {what}")
+    if not (isinstance(inductive_k, (int, float)) and 0.0 < abs(inductive_k) < 1.0):
+        raise CircuitError(
+            f"magnetically_coupled_lines inductive_k must satisfy 0 < |k| < 1, "
+            f"got {inductive_k!r}"
+        )
     ckt = Circuit(f"magnetically coupled lines ({sections} sections)")
     ckt.add_voltage_source("Vagg", "ain", "0")
     ckt.add_resistor("Rsa", "ain", "a0", r_source)
@@ -242,8 +297,10 @@ def coupled_rc_lines(
     floating coupling caps — the Sec. 5.3 scenario at net scale.  Victim
     nodes are named ``v1…vN``, aggressor nodes ``a1…aN``.
     """
-    if sections < 1:
-        raise CircuitError("coupled lines need at least one section")
+    _require_sections(sections, "coupled lines need at least one section")
+    _require_positive(resistance, "coupled_rc_lines resistance")
+    _require_positive(capacitance, "coupled_rc_lines capacitance")
+    _require_positive(coupling, "coupled_rc_lines coupling")
     ckt = Circuit(f"coupled RC lines ({sections} sections)")
     ckt.add_voltage_source("Vagg", "ain", "0")
     ckt.add_voltage_source("Vvic", "vin", "0")

@@ -1,0 +1,118 @@
+"""Shared hypothesis strategies and differential-test helpers.
+
+One home for the pieces the property/differential/writer suites (and the
+conformance tests) all need: the standard step stimulus, the calibrated
+L2 bound, the AWE-vs-transient oracle, pole/residue model strategies,
+PWL stimulus strategies, the RC-tree moment setup, and the writer round
+trip.  Import from here instead of re-defining per module.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, settings, strategies as st
+
+from repro import AweAnalyzer, MnaSystem, Step, parse_netlist, simulate
+from repro.analysis.dcop import (
+    dc_operating_point,
+    initial_operating_point,
+    resolve_initial_storage_state,
+)
+from repro.analysis.sources import PWL
+from repro.circuit.writer import write_netlist
+from repro.papercircuits import random_rc_tree
+from repro.waveform import l2_error
+
+#: The standard 5 V step drive used across the differential suites.
+STIM = {"Vin": Step(0.0, 5.0)}
+
+#: Relative L2 bound for "high-order AWE matches the converged transient".
+#: The auto-escalated model targets 0.5 %; the bound leaves room for the
+#: transient reference's own refinement tolerance.
+L2_BOUND = 0.02
+
+#: Hypothesis profile for tests whose examples each run a transient
+#: reference: few examples, no deadline, no too-slow health check.
+differential_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def awe_vs_transient_l2(circuit, stimuli, node, **response_options) -> float:
+    """Relative L2 error of the AWE response against the TR-BDF2 reference."""
+    analyzer = AweAnalyzer(circuit, stimuli)
+    response = analyzer.response(node, **response_options)
+    t_stop = response.waveform.suggested_window()
+    reference = simulate(
+        circuit, stimuli, t_stop, refine_tolerance=1e-4
+    ).voltage(node)
+    return l2_error(reference, response.waveform.to_waveform(reference.times))
+
+
+def roundtrip(circuit, stimuli=None):
+    """Parse the written netlist back into a deck."""
+    return parse_netlist(write_netlist(circuit, stimuli))
+
+
+def tree_setup(nodes, seed, v=1.0):
+    """A random RC tree plus its MNA system and homogeneous start vector."""
+    circuit = random_rc_tree(nodes, seed=seed)
+    system = MnaSystem(circuit)
+    state = resolve_initial_storage_state(system, {"Vin": 0.0})
+    x0 = initial_operating_point(circuit, system, state, {"Vin": v})
+    x_final = dc_operating_point(system, {"Vin": v})
+    return circuit, system, x0 - x_final
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+real_poles = st.lists(
+    st.floats(min_value=-1e3, max_value=-1e-3),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+residue_values = st.floats(min_value=-10.0, max_value=10.0).filter(
+    lambda x: abs(x) > 1e-3
+)
+
+
+@st.composite
+def pole_residue_sets(draw):
+    poles = draw(real_poles)
+    # Keep the poles separated so the fit is well conditioned.
+    poles = sorted(poles)
+    assume(all(b / a < 0.8 for a, b in zip(poles, poles[1:])))
+    residues = [draw(residue_values) for _ in poles]
+    return np.array(poles), np.array(residues)
+
+
+def moments_of(poles, residues, count):
+    """The exact moment sequence (m₋₁, m₀, …) of a pole/residue model."""
+    sequence = [float(np.sum(residues))]
+    for k in range(count):
+        sequence.append(float(-np.sum(residues / poles ** (k + 1))))
+    return np.array(sequence)
+
+
+@st.composite
+def pwl_stimuli(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    # Breakpoints on a 10 ns grid: realistic deck resolution, and keeps the
+    # slope·time products in a range where reconstruction round-off stays
+    # well under the assertion tolerance.
+    ticks = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=100),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    values = [draw(st.floats(min_value=-5.0, max_value=5.0)) for _ in ticks]
+    return PWL([(tick * 1e-8, value) for tick, value in zip(ticks, values)])

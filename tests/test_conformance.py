@@ -1,0 +1,173 @@
+"""Tests for the conformance fuzzing subsystem itself.
+
+Three properties matter about a fuzzer: it is *reproducible* (a seed is
+a complete bug report), it is *quiet on healthy code* (the invariant
+bounds hold across the generator families), and it actually *detects
+and distills injected defects* (the gamma-ablation acceptance test).
+"""
+
+import json
+
+import pytest
+
+from repro.circuit.writer import write_netlist
+from repro.conformance import (
+    CHECKS,
+    FAMILIES,
+    FuzzConfig,
+    generate_case,
+    run_check,
+    run_fuzz,
+    shrink_case,
+)
+from repro.conformance.checks import SkipCheck
+from repro.errors import CircuitError
+
+
+def canonical_text(case):
+    return write_netlist(case.circuit, case.stimuli, title="t", canonical=True)
+
+
+class TestGeneration:
+    def test_case_is_a_pure_function_of_the_seed(self):
+        for seed in (0, 1, 17, 123456):
+            a, b = generate_case(seed), generate_case(seed)
+            assert a.family == b.family
+            assert a.nodes == b.nodes
+            assert canonical_text(a) == canonical_text(b)
+
+    def test_every_family_appears_in_a_modest_seed_range(self):
+        seen = {generate_case(seed).family for seed in range(120)}
+        assert seen == set(FAMILIES)
+
+    def test_forced_family_is_deterministic_too(self):
+        a = generate_case(7, family="rc_mesh")
+        b = generate_case(7, family="rc_mesh")
+        assert a.family == "rc_mesh"
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(CircuitError, match="unknown fuzz family"):
+            generate_case(0, family="quantum_foam")
+
+    def test_outputs_exist_and_source_is_driven(self):
+        for seed in range(30):
+            case = generate_case(seed)
+            for node in case.nodes:
+                assert case.circuit.has_node(node), (seed, node)
+            assert case.source in case.stimuli
+
+
+class TestChecksOnHealthyCode:
+    @pytest.mark.parametrize("seed", [0, 2, 3, 5])
+    def test_all_checks_clean_on_sample_seeds(self, seed):
+        case = generate_case(seed)
+        config = FuzzConfig()
+        for name in CHECKS:
+            try:
+                violations = run_check(name, case, config)
+            except SkipCheck:
+                continue
+            assert violations == [], (seed, case.family, name)
+
+    def test_elmore_check_skips_non_trees(self):
+        case = generate_case(0, family="trapped_charge")
+        assert not case.is_rc_tree
+        with pytest.raises(SkipCheck):
+            run_check("elmore_first_order", case, FuzzConfig())
+
+
+class TestRunner:
+    def test_report_is_byte_identical_across_reruns(self):
+        config = FuzzConfig(checks=("roundtrip", "canonical_key",
+                                    "elmore_first_order"))
+        first = run_fuzz(range(12), config=config)
+        second = run_fuzz(range(12), config=config)
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))
+        assert first["schema"] == "repro.fuzz-report/1"
+        assert first["ok"]
+
+    def test_totals_arithmetic(self):
+        config = FuzzConfig(checks=("roundtrip", "linearity"))
+        report = run_fuzz(range(8), config=config)
+        totals = report["totals"]
+        assert totals["cases"] == 8
+        assert totals["checks"] == 16
+        assert (totals["passes"] + totals["skips"] + totals["violations"]
+                + totals["crashes"]) == totals["checks"]
+        assert sum(report["families"].values()) == 8
+
+    def test_generator_crash_is_a_recorded_finding(self):
+        report = run_fuzz([0], config=FuzzConfig(checks=("roundtrip",)),
+                          family="no_such_family")
+        assert not report["ok"]
+        assert report["totals"]["crashes"] == 1
+        record = report["failures"][0]
+        assert record["check"] == "generate"
+        assert record["error"]["type"] == "CircuitError"
+
+
+class TestInjectedBugAcceptance:
+    """The ISSUE acceptance criterion: ablating eq. 47 frequency scaling
+    must be *detected* by the differential check on a stiff chain and
+    *shrunk* to a minimal (<= 6 element) circuit."""
+
+    ABLATED = FuzzConfig(use_scaling=False, checks=("awe_vs_transient",))
+
+    def test_ablation_detected_on_stiff_chain(self):
+        case = generate_case(0, family="stiff_chain")
+        violations = run_check("awe_vs_transient", case, self.ABLATED)
+        assert violations, "gamma ablation went undetected"
+        assert run_check("awe_vs_transient", case, FuzzConfig()) == [], (
+            "healthy configuration must pass the same case")
+
+    def test_shrinker_reduces_to_minimal_circuit(self):
+        case = generate_case(0, family="stiff_chain")
+        result = shrink_case(case, self.ABLATED, "awe_vs_transient")
+        assert result.elements <= 6, result.netlist
+        assert result.violations
+        assert "exceeds bound" in result.violations[0]
+        # The reduced netlist is itself replayable text.
+        from repro.circuit.parser import parse_netlist
+        deck = parse_netlist(result.netlist)
+        assert len(deck.circuit) == result.elements
+
+    def test_shrinker_refuses_a_passing_case(self):
+        case = generate_case(0, family="stiff_chain")
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_case(case, FuzzConfig(), "awe_vs_transient")
+
+
+class TestFuzzCli:
+    def test_smoke_run_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seeds", "2", "--check", "roundtrip",
+                     "--check", "canonical_key"]) == 0
+        out = capsys.readouterr().out
+        assert "2 case(s)" in out and "0 violation(s)" in out
+
+    def test_report_file_is_reproducible(self, tmp_path):
+        from repro.cli import main
+
+        args = ["fuzz", "--seeds", "4", "--check", "roundtrip", "--quiet"]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*args, "--report", str(first)]) == 0
+        assert main([*args, "--report", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert json.loads(first.read_text())["schema"] == "repro.fuzz-report/1"
+
+    def test_ablated_run_fails_with_exit_one(self, capsys):
+        from repro.cli import main
+
+        code = main(["fuzz", "--seeds", "1", "--family", "stiff_chain",
+                     "--check", "awe_vs_transient", "--ablate-scaling",
+                     "--quiet"])
+        assert code == 1
+        assert "FAIL seed 0" in capsys.readouterr().out
+
+    def test_unknown_check_is_usage_error(self):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seeds", "1", "--check", "vibes"]) == 2

@@ -15,36 +15,17 @@ Randomized-but-seeded circuits, three differential oracles:
 """
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro import AweAnalyzer, AweJob, BatchEngine, Step, simulate
+from repro import AweAnalyzer, AweJob, BatchEngine
 from repro.analysis.sources import Ramp
 from repro.papercircuits import random_rc_tree, rc_mesh
-from repro.waveform import l2_error
-
-STIM = {"Vin": Step(0.0, 5.0)}
-
-#: Relative L2 bound for "high-order AWE matches the converged transient".
-#: The auto-escalated model targets 0.5 %; the bound leaves room for the
-#: transient reference's own refinement tolerance.
-L2_BOUND = 0.02
-
-_differential_settings = settings(
-    max_examples=8,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+from tests.strategies import (
+    L2_BOUND,
+    STIM,
+    awe_vs_transient_l2,
+    differential_settings as _differential_settings,
 )
-
-
-def awe_vs_transient_l2(circuit, stimuli, node, **response_options) -> float:
-    analyzer = AweAnalyzer(circuit, stimuli)
-    response = analyzer.response(node, **response_options)
-    t_stop = response.waveform.suggested_window()
-    reference = simulate(
-        circuit, stimuli, t_stop, refine_tolerance=1e-4
-    ).voltage(node)
-    return l2_error(reference, response.waveform.to_waveform(reference.times))
 
 
 class TestAweMatchesTransient:

@@ -186,3 +186,85 @@ class TestGenerators:
             rc_mesh(0, 3)
         with pytest.raises(CircuitError):
             random_rc_tree(0, seed=1)
+
+
+class TestGeneratorValidation:
+    """Every generator rejects bad parameters up front — before building a
+    deck that would only fail later as a singular MNA system (or, for a
+    randomised range, only on the unlucky seeds)."""
+
+    def test_sections_must_be_positive_integers(self):
+        from repro.errors import CircuitError
+        from repro.papercircuits import clock_h_tree, magnetically_coupled_lines
+
+        for call in (
+            lambda: rc_ladder(-1),
+            lambda: rc_ladder(True),     # bool is not a section count
+            lambda: rc_ladder(2.0),      # nor is a float
+            lambda: rc_mesh(3, 0),
+            lambda: rlc_transmission_ladder(0),
+            lambda: clock_h_tree(0),
+            lambda: magnetically_coupled_lines(0),
+            lambda: coupled_rc_lines(0),
+        ):
+            with pytest.raises(CircuitError):
+                call()
+
+    @pytest.mark.parametrize("bad", [0.0, -100.0, float("nan"), float("inf"), "100"])
+    def test_element_values_must_be_positive_finite_numbers(self, bad):
+        from repro.errors import CircuitError
+        from repro.papercircuits import clock_h_tree, magnetically_coupled_lines
+
+        for call in (
+            lambda: rc_ladder(3, resistance=bad),
+            lambda: rc_ladder(3, capacitance=bad),
+            lambda: rc_mesh(2, 2, resistance=bad),
+            lambda: rlc_transmission_ladder(2, l_per_section=bad),
+            lambda: rlc_transmission_ladder(2, r_source=bad),
+            lambda: clock_h_tree(2, leaf_load=bad),
+            lambda: magnetically_coupled_lines(2, c_coupling=bad),
+            lambda: coupled_rc_lines(2, coupling=bad),
+        ):
+            with pytest.raises(CircuitError):
+                call()
+
+    def test_random_ranges_validated_up_front(self):
+        from repro.errors import CircuitError
+
+        with pytest.raises(CircuitError, match="lower bound"):
+            random_rc_tree(5, seed=1, r_range=(0.0, 100.0))
+        with pytest.raises(CircuitError, match="upper bound"):
+            random_rc_tree(5, seed=1, c_range=(1e-15, float("inf")))
+        with pytest.raises(CircuitError, match="reversed"):
+            random_rc_tree(5, seed=1, r_range=(500.0, 50.0))
+        with pytest.raises(CircuitError, match="pair"):
+            random_rc_tree(5, seed=1, r_range=100.0)
+
+    def test_clock_tree_imbalance_domain(self):
+        from repro.errors import CircuitError
+        from repro.papercircuits import clock_h_tree
+
+        # imbalance >= 1 could jitter a segment resistance to <= 0.
+        with pytest.raises(CircuitError, match="imbalance"):
+            clock_h_tree(2, imbalance=1.0, imbalance_seed=7)
+        with pytest.raises(CircuitError, match="imbalance"):
+            clock_h_tree(2, imbalance=-0.1, imbalance_seed=7)
+        assert clock_h_tree(2, imbalance=0.3, imbalance_seed=7) is not None
+
+    def test_inductive_coupling_domain(self):
+        from repro.errors import CircuitError
+        from repro.papercircuits import magnetically_coupled_lines
+
+        # |k| must be strictly inside (0, 1): |k| >= 1 is not passive.
+        for k in (0.0, 1.0, -1.0, 1.5):
+            with pytest.raises(CircuitError, match="inductive_k"):
+                magnetically_coupled_lines(2, inductive_k=k)
+        assert magnetically_coupled_lines(2, inductive_k=-0.4) is not None
+
+    def test_error_messages_name_the_parameter(self):
+        from repro.errors import CircuitError
+
+        with pytest.raises(CircuitError, match="rc_ladder capacitance"):
+            rc_ladder(3, capacitance=-1e-15)
+        with pytest.raises(CircuitError, match="rc_mesh resistance"):
+            rc_mesh(2, 2, resistance=0.0)

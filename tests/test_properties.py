@@ -18,12 +18,7 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro import MnaSystem, Step, circuit_poles
-from repro.analysis.dcop import (
-    dc_operating_point,
-    initial_operating_point,
-    resolve_initial_storage_state,
-)
-from repro.analysis.sources import PWL, Pulse, Ramp
+from repro.analysis.sources import Pulse, Ramp
 from repro.core.error import cauchy_bound_distance, exact_l2_distance, transient_energy
 from repro.core.moments import homogeneous_moments
 from repro.core.model import PoleResidueModel
@@ -32,38 +27,7 @@ from repro.core.residues import solve_residues
 from repro.errors import MomentMatrixError
 from repro.papercircuits import random_rc_tree
 from repro.rctree import elmore_delays, treelink_moments
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-
-real_poles = st.lists(
-    st.floats(min_value=-1e3, max_value=-1e-3),
-    min_size=1,
-    max_size=4,
-    unique=True,
-)
-
-residue_values = st.floats(min_value=-10.0, max_value=10.0).filter(
-    lambda x: abs(x) > 1e-3
-)
-
-
-@st.composite
-def pole_residue_sets(draw):
-    poles = draw(real_poles)
-    # Keep the poles separated so the fit is well conditioned.
-    poles = sorted(poles)
-    assume(all(b / a < 0.8 for a, b in zip(poles, poles[1:])))
-    residues = [draw(residue_values) for _ in poles]
-    return np.array(poles), np.array(residues)
-
-
-def moments_of(poles, residues, count):
-    sequence = [float(np.sum(residues))]
-    for k in range(count):
-        sequence.append(float(-np.sum(residues / poles ** (k + 1))))
-    return np.array(sequence)
+from tests.strategies import moments_of, pole_residue_sets, pwl_stimuli, tree_setup
 
 
 # ----------------------------------------------------------------------
@@ -196,15 +160,6 @@ class TestEnergyProperties:
 # ----------------------------------------------------------------------
 # Circuit-level properties on random RC trees
 # ----------------------------------------------------------------------
-
-
-def tree_setup(nodes, seed, v=1.0):
-    circuit = random_rc_tree(nodes, seed=seed)
-    system = MnaSystem(circuit)
-    state = resolve_initial_storage_state(system, {"Vin": 0.0})
-    x0 = initial_operating_point(circuit, system, state, {"Vin": v})
-    x_final = dc_operating_point(system, {"Vin": v})
-    return circuit, system, x0 - x_final
 
 
 class TestRcTreeProperties:
@@ -341,26 +296,6 @@ class TestDriverLtiProperties:
 # ----------------------------------------------------------------------
 # Stimulus properties
 # ----------------------------------------------------------------------
-
-
-@st.composite
-def pwl_stimuli(draw):
-    n = draw(st.integers(min_value=1, max_value=6))
-    # Breakpoints on a 10 ns grid: realistic deck resolution, and keeps the
-    # slope·time products in a range where reconstruction round-off stays
-    # well under the assertion tolerance.
-    ticks = sorted(
-        draw(
-            st.lists(
-                st.integers(min_value=0, max_value=100),
-                min_size=n,
-                max_size=n,
-                unique=True,
-            )
-        )
-    )
-    values = [draw(st.floats(min_value=-5.0, max_value=5.0)) for _ in ticks]
-    return PWL([(tick * 1e-8, value) for tick, value in zip(ticks, values)])
 
 
 class TestStimulusProperties:

@@ -311,6 +311,77 @@ class TestHttpServer:
                 conn.close()
 
 
+class TestErrorPathsBypassEngine:
+    """Malformed input must be refused at the door with a structured 4xx:
+    no worker dispatch, no solver work, no cache write.  The solver
+    counters in ``/metrics`` are the witness — they only move when a
+    request actually reaches a :class:`BatchEngine`."""
+
+    def _assert_engine_untouched(self, metrics):
+        assert metrics["solver"]["lu_factorizations"] == 0
+        assert metrics["solver"]["moment_solves"] == 0
+        assert metrics["solver"]["responses"] == 0
+        assert metrics["cache_stores"] == 0
+        assert metrics["cache_misses"] == 0
+        assert metrics["in_flight"] == 0
+
+    def test_malformed_json_is_structured_400_without_solver_work(self, service):
+        status, body, _ = service.submit(b'{"deck": "x", "nodes": [')
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["status"] == 400
+        assert "JSON" in payload["error"]
+        self._assert_engine_untouched(service.metrics())
+
+    def test_wrong_field_types_are_structured_400(self, service):
+        for raw in (
+            json.dumps({"deck": 7, "nodes": ["1"]}).encode(),
+            json.dumps({"deck": FAST_DECK, "nodes": []}).encode(),
+            json.dumps({"deck": FAST_DECK, "nodes": [2]}).encode(),
+            json.dumps({"deck": FAST_DECK, "nodes": ["2"], "order": True}).encode(),
+            json.dumps([FAST_DECK, ["2"]]).encode(),
+        ):
+            status, body, _ = service.submit(raw)
+            assert status == 400, raw
+            assert json.loads(body)["status"] == 400
+        self._assert_engine_untouched(service.metrics())
+
+    def test_unknown_field_is_structured_400_naming_the_field(self, service):
+        status, body, _ = service.submit(
+            request_body(FAST_DECK, ["2"], shrink_rays=True))
+        assert status == 400
+        payload = json.loads(body)
+        assert "shrink_rays" in payload["error"]
+        self._assert_engine_untouched(service.metrics())
+
+    def test_oversized_request_is_413_before_reading_the_body(self):
+        import http.client
+
+        from repro.service.server import MAX_BODY_BYTES
+
+        with ServiceServer(port=0, workers=1) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                # Declare a body twice the cap but never send it: the
+                # server must refuse on the header alone.
+                conn.putrequest("POST", "/analyze")
+                conn.putheader("Content-Length", str(2 * MAX_BODY_BYTES))
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 413
+                payload = json.loads(response.read())
+                assert payload["status"] == 413
+                assert str(MAX_BODY_BYTES) in payload["error"]
+            finally:
+                conn.close()
+
+            client = AnalysisClient(server.url, timeout=60)
+            self._assert_engine_untouched(client.metrics())
+            # The daemon is unharmed: a well-formed request still works.
+            assert client.analyze(FAST_DECK, "2").ok
+
+
 class TestServeSubprocess:
     """The CLI daemon: ``python -m repro serve`` under real signals."""
 

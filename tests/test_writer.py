@@ -9,10 +9,7 @@ from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step
 from repro.circuit.writer import write_netlist, write_netlist_file
 from repro.errors import CircuitError
 from repro.papercircuits import fig25_rlc_ladder, fig4_rc_tree, random_rc_tree
-
-
-def roundtrip(circuit, stimuli=None):
-    return parse_netlist(write_netlist(circuit, stimuli))
+from tests.strategies import roundtrip
 
 
 class TestRoundTrip:
