@@ -66,6 +66,7 @@ from repro.errors import (
     SingularCircuitError,
     TopologyError,
     UnstableApproximationError,
+    WorkerCrashError,
 )
 from repro.instrumentation import SolverStats
 from repro.report import build_report, render_markdown, validate_report
@@ -115,6 +116,7 @@ __all__ = [
     "UnstableApproximationError",
     "VoltageSource",
     "Waveform",
+    "WorkerCrashError",
     "awe_response",
     "build_report",
     "circuit_poles",

@@ -197,6 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist cached reports here (restart-warm cache)")
     serve.add_argument("--timeout", type=float,
                        help="default per-request wall-clock budget in seconds")
+    serve.add_argument("--engine-workers", type=int, default=1,
+                       help="analysis processes per worker thread's engine; "
+                            ">1 enables the self-healing process pool "
+                            "(default 1, in-process)")
+    serve.add_argument("--degraded-threshold", type=int, default=3,
+                       help="consecutive worker-crash requests before "
+                            "/healthz flips to degraded (default 3)")
+    serve.add_argument("--faults", metavar="SPEC",
+                       help="install a fault-injection plan for this process, "
+                            "e.g. 'worker_crash=1:x1,http_503=0.1' "
+                            "(testing only; see docs/service.md)")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault plan's probability draws "
+                            "(default 0)")
 
     analyze = commands.add_parser(
         "analyze", help="send one deck to a running daemon"
@@ -216,6 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="logic threshold for an extra delay column (V)")
     analyze.add_argument("--timeout", type=float,
                          help="server-side per-request budget in seconds")
+    analyze.add_argument("--retries", type=int, default=2,
+                         help="extra attempts for transient failures "
+                              "(429/503/connection errors; default 2)")
     analyze.add_argument("--json", metavar="PATH",
                          help="write the raw run-report JSON here; '-' = stdout")
     return parser
@@ -517,7 +534,10 @@ def cmd_serve(args) -> int:
         print(f"repro service listening on {server.url}", flush=True)
         print(f"  workers={args.workers} queue_size={args.queue_size} "
               f"cache_bytes={args.cache_bytes}"
-              + (f" cache_dir={args.cache_dir}" if args.cache_dir else ""),
+              + (f" cache_dir={args.cache_dir}" if args.cache_dir else "")
+              + (f" engine_workers={args.engine_workers}"
+                 if args.engine_workers != 1 else "")
+              + (f" faults={args.faults!r}" if args.faults else ""),
               flush=True)
 
     return serve(
@@ -528,6 +548,10 @@ def cmd_serve(args) -> int:
         cache_bytes=args.cache_bytes,
         cache_dir=args.cache_dir,
         timeout=args.timeout,
+        engine_workers=args.engine_workers,
+        degraded_threshold=args.degraded_threshold,
+        fault_spec=args.faults,
+        fault_seed=args.fault_seed,
         announce=announce,
     )
 
@@ -537,7 +561,7 @@ def cmd_analyze(args) -> int:
 
     from repro.service import AnalysisClient
 
-    client = AnalysisClient(args.server)
+    client = AnalysisClient(args.server, retries=args.retries)
     outcome = client.analyze_file(
         args.deck,
         args.node,

@@ -15,6 +15,10 @@ runs many of them with
   (``workers <= 1`` runs inline with zero IPC overhead);
 * **per-job isolation** — a failing or timed-out job yields a structured
   failure :class:`BatchResult`; it never aborts the batch;
+* **self-healing pool** — a worker-process death (``BrokenProcessPool``)
+  triggers one pool rebuild that re-runs only the jobs lost in flight;
+  jobs lost twice become ``WorkerCrashError`` failure records and the
+  rebuild is counted in ``stats()["pool_rebuilds"]``;
 * **instrumentation** — per-worker
   :class:`~repro.instrumentation.SolverStats` are merged into the
   engine's :meth:`BatchEngine.stats` view (also surfaced by
@@ -30,16 +34,18 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import os
 import signal
 import threading
 import time
 import traceback
 from contextlib import contextmanager
 
+from repro import faults
 from repro.analysis.sources import Stimulus
 from repro.circuit.netlist import Circuit
 from repro.core.driver import AweAnalyzer, AweResponse
-from repro.errors import BatchTimeoutError, CircuitError
+from repro.errors import BatchTimeoutError, CircuitError, WorkerCrashError
 from repro.instrumentation import SolverStats
 from repro.trace import Tracer
 
@@ -173,7 +179,7 @@ def _deadline(seconds: float | None):
             )
 
 
-def _execute_group(circuit, entries, timeout, trace=False):
+def _execute_group(circuit, entries, timeout, trace=False, attempt=0):
     """Run one circuit group's jobs sequentially with analyzer reuse.
 
     ``entries`` is ``[(job_index, stripped_job), ...]`` where the jobs'
@@ -186,14 +192,26 @@ def _execute_group(circuit, entries, timeout, trace=False):
     the job's duration; the serialized record rides back on
     ``BatchResult.trace``.  Shared work (MNA assembly, LU, the batched
     moment recursion) lands in the trace of the job that triggered it.
+
+    ``attempt`` is nonzero when this group is being re-run after a pool
+    rebuild; traced jobs record it as a ``pool_rebuild_retry`` event so
+    a report shows which results survived a worker crash.
     """
+    plan = faults.active()
     analyzers: dict = {}
     results: list[BatchResult] = []
     for index, job in entries:
         tracer = Tracer(job.label, job_index=index) if trace else None
+        if trace and attempt:
+            tracer.event("pool_rebuild_retry", attempt=attempt)
         start = time.perf_counter()
         try:
             with _deadline(timeout):
+                if plan.enabled:
+                    # The slow-job probe burns budget *inside* the job's
+                    # deadline, so an injected stall exercises the same
+                    # timeout path a genuinely stuck solve would.
+                    plan.sleep("slow_job", 0.25)
                 key = (_stimuli_key(job.stimuli), job.max_order)
                 analyzer = analyzers.get(key)
                 if analyzer is None:
@@ -247,8 +265,34 @@ def _execute_group(circuit, entries, timeout, trace=False):
 
 
 def _pool_task(payload):
-    """Picklable pool entry point."""
-    return _execute_group(*payload)
+    """Picklable pool entry point.
+
+    ``payload`` is ``(circuit, entries, timeout, trace, attempt,
+    inject_crash)``.  The crash decision is drawn in the *parent* (see
+    :meth:`BatchEngine._run_pool`) so a capped ``worker_crash`` probe
+    keeps its count across pool rebuilds; this side only executes it.
+    """
+    circuit, entries, timeout, trace, attempt, inject_crash = payload
+    if inject_crash:
+        # A hard worker death: no exception, no cleanup — exactly what a
+        # segfault or OOM kill looks like to the parent (BrokenProcessPool).
+        os._exit(13)
+    return _execute_group(circuit, entries, timeout, trace, attempt)
+
+
+def _crash_failures(entries, exc):
+    """Failure records for a chunk whose worker died past the retry."""
+    message = "".join(traceback.format_exception_only(exc)).strip()
+    return [
+        BatchResult(
+            index=index,
+            label=job.label,
+            responses=None,
+            error=f"worker died (pool already rebuilt once): {message}",
+            error_type=WorkerCrashError.__name__,
+        )
+        for index, job in entries
+    ]
 
 
 class BatchEngine:
@@ -279,6 +323,7 @@ class BatchEngine:
             "distinct_circuits": 0,
             "analyzers_built": 0,
             "runs": 0,
+            "pool_rebuilds": 0,
             "batch_wall_time_s": 0.0,
         }
 
@@ -313,10 +358,11 @@ class BatchEngine:
         start = time.perf_counter()
         groups = self._group_by_circuit(jobs)
         chunks = self._chunk(groups, workers)
+        rebuilds = 0
         if workers <= 1:
             outcomes = [_execute_group(*chunk, timeout, trace) for chunk in chunks]
         else:
-            outcomes = self._run_pool(chunks, workers, timeout, trace)
+            outcomes, rebuilds = self._run_pool(chunks, workers, timeout, trace)
 
         results: list[BatchResult | None] = [None] * len(jobs)
         builds = 0
@@ -332,6 +378,7 @@ class BatchEngine:
         self._engine_stats["distinct_circuits"] += len(groups)
         self._engine_stats["analyzers_built"] += builds
         self._engine_stats["runs"] += 1
+        self._engine_stats["pool_rebuilds"] += rebuilds
         self._engine_stats["batch_wall_time_s"] += time.perf_counter() - start
         return results
 
@@ -383,36 +430,66 @@ class BatchEngine:
 
     @staticmethod
     def _run_pool(chunks, workers, timeout, trace=False):
-        """Fan chunks out over a process pool; a crashed worker poisons
-        only its own chunks (each job becomes a failure record)."""
+        """Fan chunks out over a self-healing process pool.
+
+        A dead worker breaks the whole ``ProcessPoolExecutor`` (every
+        in-flight and queued future raises ``BrokenProcessPool``), so a
+        single crash must not cost every unfinished job: the chunks that
+        were lost in flight are collected, the pool is rebuilt **once**,
+        and only those chunks are re-run.  Chunks lost a second time
+        become structured failure records (``error_type ==
+        "WorkerCrashError"``) — the engine degrades, it never raises.
+
+        Returns ``(outcomes, pool_rebuilds)``.
+        """
         try:
             import multiprocessing
 
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             context = None
+        plan = faults.active()
         outcomes = []
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)), mp_context=context
-        ) as pool:
-            futures = {
-                pool.submit(_pool_task, (circuit, entries, timeout, trace)): entries
-                for circuit, entries in chunks
-            }
-            for future in concurrent.futures.as_completed(futures):
-                entries = futures[future]
-                try:
-                    outcomes.append(future.result())
-                except Exception as exc:  # e.g. BrokenProcessPool
-                    failures = [
-                        BatchResult(
-                            index=index,
-                            label=job.label,
-                            responses=None,
-                            error=f"worker died: {exc}",
-                            error_type=type(exc).__name__,
-                        )
-                        for index, job in entries
-                    ]
-                    outcomes.append((failures, {}, 0))
-        return outcomes
+        rebuilds = 0
+        pending = [(circuit, entries, 0) for circuit, entries in chunks]
+        while pending:
+            lost = []
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=context
+            ) as pool:
+                futures = {}
+                for circuit, entries, attempt in pending:
+                    # Drawn here, parent side, so a capped probe (x1)
+                    # stays exhausted across rebuilds — the retry then
+                    # demonstrably recovers instead of re-crashing.
+                    crash = plan.enabled and plan.fire("worker_crash")
+                    future = pool.submit(
+                        _pool_task,
+                        (circuit, entries, timeout, trace, attempt, crash))
+                    futures[future] = (circuit, entries, attempt)
+                for future in concurrent.futures.as_completed(futures):
+                    circuit, entries, attempt = futures[future]
+                    try:
+                        outcomes.append(future.result())
+                    except concurrent.futures.BrokenExecutor as exc:
+                        if attempt == 0:
+                            lost.append((circuit, entries))
+                        else:
+                            outcomes.append((_crash_failures(entries, exc), {}, 0))
+                    except Exception as exc:  # e.g. an unpicklable result
+                        failures = [
+                            BatchResult(
+                                index=index,
+                                label=job.label,
+                                responses=None,
+                                error=f"worker failed: {exc}",
+                                error_type=type(exc).__name__,
+                            )
+                            for index, job in entries
+                        ]
+                        outcomes.append((failures, {}, 0))
+            if not lost:
+                break
+            rebuilds += 1
+            pending = [(circuit, entries, 1) for circuit, entries in lost]
+        return outcomes, rebuilds

@@ -100,3 +100,14 @@ class BatchTimeoutError(ReproError):
     captured there into the job's failure record; it never aborts the
     batch as a whole.
     """
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died and the one rebuild retry failed too.
+
+    The :class:`~repro.engine.batch.BatchEngine` treats a broken process
+    pool as recoverable: it rebuilds the pool once and re-runs only the
+    jobs that were lost in flight.  Jobs that are lost *again* after the
+    rebuild become failure records with this ``error_type`` — the signal
+    the service layer counts toward its degraded state.
+    """

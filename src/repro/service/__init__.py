@@ -19,7 +19,8 @@ microseconds instead of milliseconds.
   (``POST /analyze``, ``GET /healthz``, ``GET /metrics``) with a bounded
   queue, 429 admission control, per-request timeouts, and graceful
   SIGTERM drain.
-* :mod:`repro.service.client` — a dependency-free HTTP client
+* :mod:`repro.service.client` — a dependency-free HTTP client with
+  capped, full-jitter retry for transient failures
   (``python -m repro analyze --server`` uses it).
 
 The request/response schema, cache semantics, and metrics fields are
@@ -28,7 +29,8 @@ documented in ``docs/service.md``.
 
 from repro.service.cache import ResultCache
 from repro.service.canon import canonical_deck, request_key
-from repro.service.client import AnalysisClient, AnalyzeOutcome, ServiceError
+from repro.service.client import (AnalysisClient, AnalyzeOutcome,
+                                  ServiceError, parse_retry_after)
 from repro.service.server import AnalysisService, ServiceServer, serve
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "canonical_deck",
+    "parse_retry_after",
     "request_key",
     "serve",
 ]

@@ -17,8 +17,12 @@ Two tiers:
   corrupt.
 
 All operations are thread-safe; the counters (``hits`` / ``misses`` /
-``evictions`` / ``disk_hits`` / ``stores``) feed the server's
-``/metrics`` endpoint.
+``evictions`` / ``disk_hits`` / ``stores`` / ``oversize_skips`` /
+``disk_store_failures``) feed the server's ``/metrics`` endpoint.
+Disk persistence stays best-effort — a full or read-only disk never
+fails the request whose report was already computed — but every failed
+write-through is counted (``disk_store_failures``) so the condition is
+diagnosable instead of silent.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import json
 import os
 import threading
 
+from repro import faults
 from repro.report import REPORT_SCHEMA
 
 
@@ -61,6 +66,7 @@ class ResultCache:
             "stores": 0,
             "disk_hits": 0,
             "oversize_skips": 0,
+            "disk_store_failures": 0,
         }
 
     # -- lookup / store ------------------------------------------------
@@ -92,6 +98,11 @@ class ResultCache:
             raise TypeError(f"cache bodies are bytes, got {type(body).__name__}")
         with self._lock:
             self._counters["stores"] += 1
+            if len(body) > self.max_bytes:
+                # Counted here, on the store, and only here: a get() that
+                # later promotes the disk copy back toward memory re-skips
+                # but must not re-count, or the counter reports touches.
+                self._counters["oversize_skips"] += 1
             self._store_in_memory(key, body)
         self._disk_store(key, body)
 
@@ -118,9 +129,13 @@ class ResultCache:
     # -- internals -----------------------------------------------------
 
     def _store_in_memory(self, key: str, body: bytes) -> None:
-        """Insert/refresh under the byte budget; caller holds the lock."""
+        """Insert/refresh under the byte budget; caller holds the lock.
+
+        A body larger than the whole budget is skipped silently —
+        ``put()`` owns the ``oversize_skips`` count so disk-hit
+        promotions through :meth:`get` don't inflate it.
+        """
         if len(body) > self.max_bytes:
-            self._counters["oversize_skips"] += 1
             return
         old = self._entries.pop(key, None)
         if old is not None:
@@ -138,16 +153,23 @@ class ResultCache:
     def _disk_store(self, key: str, body: bytes) -> None:
         if self.directory is None:
             return
-        os.makedirs(self.directory, exist_ok=True)
         path = self._disk_path(key)
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
+            if faults.active().fire("cache_io_store"):
+                raise OSError("injected fault: cache disk store")
+            # makedirs is inside the try: an unwritable parent directory
+            # is exactly the best-effort failure this guard exists for.
+            os.makedirs(self.directory, exist_ok=True)
             with open(tmp, "wb") as handle:
                 handle.write(body)
             os.replace(tmp, path)
         except OSError:
             # Persistence is best-effort; a full or read-only disk must
-            # never fail the request whose report was already computed.
+            # never fail the request whose report was already computed —
+            # but it must be visible, so count it for stats()/metrics.
+            with self._lock:
+                self._counters["disk_store_failures"] += 1
             try:
                 os.unlink(tmp)
             except OSError:
@@ -158,6 +180,8 @@ class ResultCache:
             return None
         path = self._disk_path(key)
         try:
+            if faults.active().fire("cache_io_load"):
+                raise OSError("injected fault: cache disk load")
             with open(path, "rb") as handle:
                 body = handle.read()
         except OSError:

@@ -24,6 +24,24 @@ the recent per-job wall time — the backlog can never grow without bound.
 ``SIGTERM`` triggers a graceful drain: requests already accepted run to
 completion and their reports are returned; new ``/analyze`` requests are
 refused with 503; the process exits once the queue is empty.
+
+Degraded mode (self-protection under worker crashes)
+----------------------------------------------------
+With ``engine_workers > 1`` each analysis fans out over a process pool;
+a pool-worker death is absorbed by the engine's self-healing rebuild
+(``pool_rebuilds`` in ``/metrics``), and a request whose jobs are *still*
+lost after the rebuild counts as a worker-crash request.  After
+``degraded_threshold`` consecutive crash requests the service flips
+``/healthz`` to a 503 ``degraded`` state and sheds load: while degraded,
+at most one analysis (the canary) is in flight at a time and the rest
+are refused immediately with 503 + ``Retry-After`` instead of queueing
+behind a crashing pool.  The first canary that completes without a crash
+clears the state.  Cache hits are always served.
+
+Fault injection (``repro.faults``) hooks the HTTP boundary here: the
+``http_429`` / ``http_503`` / ``http_timeout`` probes fire at the top of
+``submit`` (marked with an ``X-Repro-Fault`` header) so client
+retry/backoff behaviour is testable against a live daemon.
 """
 
 from __future__ import annotations
@@ -36,9 +54,10 @@ import time
 import queue as queue_module
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import faults
 from repro.circuit.parser import parse_netlist
 from repro.engine import AweJob, BatchEngine
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerCrashError
 from repro.instrumentation import SolverStats
 from repro.report import build_report, validate_report
 from repro.service.cache import ResultCache
@@ -150,17 +169,35 @@ class AnalysisService:
         Default per-request wall-clock budget in seconds (queue wait +
         analysis); a request's own ``timeout`` field overrides it.
         ``None`` means unlimited.
+    engine_workers:
+        Process-pool width of each worker thread's
+        :class:`~repro.engine.batch.BatchEngine` (default 1 = in-process
+        analysis; > 1 adds per-request fan-out and, with it, the
+        self-healing pool-rebuild path).
+    degraded_threshold:
+        Consecutive worker-crash requests that flip the service into the
+        degraded (shed-load) state; the first clean request clears it.
     """
 
     def __init__(self, workers: int = 2, queue_size: int = 16,
                  cache: ResultCache | None = None,
-                 timeout: float | None = None):
+                 timeout: float | None = None,
+                 engine_workers: int = 1,
+                 degraded_threshold: int = 3):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size!r}")
+        if engine_workers < 1:
+            raise ValueError(
+                f"engine_workers must be >= 1, got {engine_workers!r}")
+        if degraded_threshold < 1:
+            raise ValueError(
+                f"degraded_threshold must be >= 1, got {degraded_threshold!r}")
         self.workers = workers
         self.timeout = timeout
+        self.engine_workers = engine_workers
+        self.degraded_threshold = degraded_threshold
         self.cache = cache if cache is not None else ResultCache()
         self._queue: queue_module.Queue = queue_module.Queue(maxsize=queue_size)
         self._engines: list[BatchEngine] = []
@@ -171,6 +208,8 @@ class AnalysisService:
         self._in_flight = 0
         self._avg_job_s = 0.05  # EWMA of job wall time, seeds Retry-After
         self._started_at = time.monotonic()
+        self._degraded = False
+        self._consecutive_crashes = 0
         self._counters = {
             "requests_total": 0,
             "requests_ok": 0,
@@ -178,7 +217,11 @@ class AnalysisService:
             "bad_requests": 0,
             "rejected_queue_full": 0,
             "rejected_draining": 0,
+            "rejected_degraded": 0,
             "request_timeouts": 0,
+            "worker_crash_requests": 0,
+            "degraded_entries": 0,
+            "faults_injected": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -189,7 +232,7 @@ class AnalysisService:
             return self
         self._started_at = time.monotonic()
         for number in range(self.workers):
-            engine = BatchEngine(workers=1)
+            engine = BatchEngine(workers=self.engine_workers)
             self._engines.append(engine)
             thread = threading.Thread(
                 target=self._worker, args=(engine,),
@@ -242,6 +285,11 @@ class AnalysisService:
         started = time.monotonic()
         with self._lock:
             self._counters["requests_total"] += 1
+        plan = faults.active()
+        if plan.enabled:
+            injected = self._inject_http_fault(plan)
+            if injected is not None:
+                return injected
         try:
             params = _parse_request(raw_body)
             deck = parse_netlist(params["deck"])
@@ -275,6 +323,18 @@ class AnalysisService:
         pending = _Pending(deck, params, key,
                            deck.title or "deck", parse_s, deadline)
         with self._idle:
+            # Degraded shed-load: while the worker pool is suspected
+            # broken, admit exactly one canary analysis at a time and
+            # refuse the rest immediately — a fast 503 with a hint beats
+            # a request hanging behind a crashing pool.
+            if self._degraded and self._in_flight >= 1:
+                self._counters["rejected_degraded"] += 1
+                retry_after = max(1, math.ceil(self._avg_job_s * 2))
+                return 503, _error_body(
+                    503, "service is degraded after repeated worker "
+                         "crashes; shedding load while one canary "
+                         "request probes recovery"), {
+                    "Retry-After": str(retry_after)}
             # Admission and the in-flight count move together so a drain
             # observer can never see an accepted job it will not wait for.
             try:
@@ -312,15 +372,52 @@ class AnalysisService:
             "X-Repro-Elapsed-S": f"{elapsed:.6f}",
         }
 
+    def _inject_http_fault(self, plan):
+        """Consult the HTTP-boundary fault probes; an injected refusal is
+        returned as a full ``(status, body, headers)`` triple, marked with
+        ``X-Repro-Fault`` so clients and tests can tell it from the real
+        thing.  ``http_timeout`` stalls the handler instead (long enough
+        to trip a client socket timeout when its arg says so)."""
+        if plan.fire("http_timeout"):
+            with self._lock:
+                self._counters["faults_injected"] += 1
+            time.sleep(plan.arg("http_timeout", 1.0))
+        if plan.fire("http_429"):
+            with self._lock:
+                self._counters["faults_injected"] += 1
+            return 429, _error_body(
+                429, "injected fault: queue pressure, retry later"), {
+                "Retry-After": f"{plan.arg('http_429', 0.05):g}",
+                "X-Repro-Fault": "http_429"}
+        if plan.fire("http_503"):
+            with self._lock:
+                self._counters["faults_injected"] += 1
+            return 503, _error_body(
+                503, "injected fault: service momentarily unavailable"), {
+                "Retry-After": f"{plan.arg('http_503', 0.05):g}",
+                "X-Repro-Fault": "http_503"}
+        return None
+
     # -- introspection -------------------------------------------------
 
     def healthz(self):
-        """``GET /healthz`` payload: 200 while serving, 503 once draining."""
-        status = 503 if self.draining else 200
+        """``GET /healthz`` payload: 200 while serving; 503 once draining
+        or while degraded after repeated worker crashes (load balancers
+        should route away, the canary path handles recovery)."""
+        with self._lock:
+            degraded = self._degraded
+            consecutive = self._consecutive_crashes
+        if self.draining:
+            status, state = 503, "draining"
+        elif degraded:
+            status, state = 503, "degraded"
+        else:
+            status, state = 200, "ok"
         payload = {
-            "status": "draining" if self.draining else "ok",
+            "status": state,
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),
+            "consecutive_worker_failures": consecutive,
             "uptime_s": round(time.monotonic() - self._started_at, 6),
         }
         return status, (json.dumps(payload) + "\n").encode("utf-8")
@@ -335,10 +432,15 @@ class AnalysisService:
         with self._lock:
             counters = dict(self._counters)
             in_flight = self._in_flight
+            degraded = self._degraded
+            consecutive = self._consecutive_crashes
         document = {
             "uptime_s": round(time.monotonic() - self._started_at, 6),
             "workers": self.workers,
+            "engine_workers": self.engine_workers,
             "draining": self.draining,
+            "degraded": degraded,
+            "consecutive_worker_failures": consecutive,
             "queue_depth": self._queue.qsize(),
             "queue_capacity": self._queue.maxsize,
             "in_flight": in_flight,
@@ -346,6 +448,9 @@ class AnalysisService:
             **self.cache.stats(),
             "solver": solver.as_dict(),
         }
+        plan = faults.active()
+        if plan.enabled:
+            document["faults"] = plan.stats()
         return document
 
     # -- worker side ---------------------------------------------------
@@ -405,6 +510,8 @@ class AnalysisService:
             return
         body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
         ok = all(result.ok for result in results)
+        crashed = any(
+            result.error_type == WorkerCrashError.__name__ for result in results)
         if ok:
             # Only clean runs are cached: failures are cheap to reproduce
             # and may be environmental (a timeout under load).
@@ -413,6 +520,22 @@ class AnalysisService:
             self._counters["requests_ok" if ok else "requests_failed"] += 1
             elapsed = time.monotonic() - started
             self._avg_job_s += 0.3 * (elapsed - self._avg_job_s)
+            # Worker-death bookkeeping: a request whose jobs were lost
+            # even after the engine's pool rebuild counts toward the
+            # degraded threshold; any request that comes back without a
+            # crash (the canary included) clears the streak.  A rebuild
+            # that *recovered* is therefore a success — self-healing
+            # keeps the service out of degraded mode.
+            if crashed:
+                self._counters["worker_crash_requests"] += 1
+                self._consecutive_crashes += 1
+                if (not self._degraded
+                        and self._consecutive_crashes >= self.degraded_threshold):
+                    self._degraded = True
+                    self._counters["degraded_entries"] += 1
+            else:
+                self._consecutive_crashes = 0
+                self._degraded = False
         self._finish(pending, 200, body)
 
     @staticmethod
@@ -588,15 +711,24 @@ class ServiceServer:
 def serve(host: str = "127.0.0.1", port: int = 8040, *, workers: int = 2,
           queue_size: int = 16, cache_bytes: int = 64 * 1024 * 1024,
           cache_dir: str | None = None, timeout: float | None = None,
+          engine_workers: int = 1, degraded_threshold: int = 3,
+          fault_spec: str | None = None, fault_seed: int = 0,
           announce=None) -> int:
     """Blocking daemon entry point (``python -m repro serve``).
 
     ``announce`` is called with the server once it is bound (the CLI
     prints the listening URL from it); returns the process exit code.
+    ``fault_spec`` installs a :class:`repro.faults.FaultPlan` for the
+    process (the ``--faults`` flag; see ``repro.faults`` for the
+    grammar) — production runs leave it ``None``.
     """
+    if fault_spec:
+        faults.install(faults.FaultPlan.parse(fault_spec, seed=fault_seed))
     cache = ResultCache(max_bytes=cache_bytes, directory=cache_dir)
     service = AnalysisService(workers=workers, queue_size=queue_size,
-                              cache=cache, timeout=timeout)
+                              cache=cache, timeout=timeout,
+                              engine_workers=engine_workers,
+                              degraded_threshold=degraded_threshold)
     server = ServiceServer(host=host, port=port, service=service)
     if announce is not None:
         announce(server)

@@ -5,8 +5,17 @@ import threading
 
 import pytest
 
+from repro import faults
+from repro.faults import FaultPlan
 from repro.report import REPORT_SCHEMA
 from repro.service.cache import ResultCache
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    faults.reset()
+    yield
+    faults.reset()
 
 
 def body(tag: str, pad: int = 0) -> bytes:
@@ -54,6 +63,21 @@ class TestLru:
         assert cache.stats()["cache_oversize_skips"] == 1
         # It never evicted anything to make room it could not provide.
         assert cache.stats()["cache_evictions"] == 0
+
+    def test_oversize_skips_counted_once_not_per_disk_promotion(self, tmp_path):
+        """Regression: a get() that promotes the disk copy back toward
+        memory re-skips the oversize body but must not re-count it —
+        the counter reports oversize *stores*, not touches."""
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(max_bytes=64, directory=directory)
+        big = body("big", 500)
+        cache.put("big", big)
+        assert cache.stats()["cache_oversize_skips"] == 1
+        for _ in range(3):
+            assert cache.get("big") == big  # served from disk every time
+        stats = cache.stats()
+        assert stats["cache_disk_hits"] == 3
+        assert stats["cache_oversize_skips"] == 1
 
     def test_rejects_non_bytes(self):
         cache = ResultCache()
@@ -104,6 +128,39 @@ class TestDiskTier:
         cache = ResultCache()
         cache.put("k1", body("one"))
         assert list(tmp_path.iterdir()) == []
+
+    def test_uncreatable_directory_is_counted_not_raised(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_bytes(b"")  # a *file* where the parent dir must go
+        cache = ResultCache(directory=str(blocker / "cache"))
+        cache.put("k1", body("one"))  # must not raise
+        assert cache.get("k1") == body("one")
+        assert cache.stats()["cache_disk_store_failures"] == 1
+
+    def test_injected_store_fault_is_counted_and_survived(self, tmp_path):
+        faults.install(FaultPlan.parse("cache_io_store=1:x2"))
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.put("k1", body("one"))
+        cache.put("k2", body("two"))
+        cache.put("k3", body("three"))  # probe cap exhausted: this lands
+        stats = cache.stats()
+        assert stats["cache_disk_store_failures"] == 2
+        assert stats["cache_stores"] == 3
+        # Memory tier was never affected; only k3 reached the disk.
+        assert cache.get("k1") == body("one")
+        restarted = ResultCache(directory=directory)
+        assert restarted.get("k1") is None
+        assert restarted.get("k3") == body("three")
+
+    def test_injected_load_fault_reads_as_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.put("k1", body("one"))
+        cache.clear()
+        faults.install(FaultPlan.parse("cache_io_load=1:x1"))
+        assert cache.get("k1") is None          # injected read error
+        assert cache.get("k1") == body("one")   # disk is fine afterwards
 
 
 class TestThreadSafety:

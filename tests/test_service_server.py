@@ -10,6 +10,7 @@ contract.
 import json
 import os
 import pathlib
+import random
 import signal
 import subprocess
 import sys
@@ -19,8 +20,9 @@ import urllib.request
 
 import pytest
 
-from repro import Step
+from repro import Step, faults
 from repro.circuit.writer import write_netlist
+from repro.faults import FaultPlan
 from repro.papercircuits import rc_mesh
 from repro.report import validate_report
 from repro.service import (
@@ -29,6 +31,14 @@ from repro.service import (
     ServiceError,
     ServiceServer,
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    """No test leaks an installed fault plan into the next one."""
+    faults.reset()
+    yield
+    faults.reset()
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -441,3 +451,225 @@ class TestServeSubprocess:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=30)
+
+    def test_crashy_worker_flags_recover_end_to_end(self):
+        """``--engine-workers 2 --faults worker_crash=1:x1``: the daemon's
+        first analysis loses a pool worker, rebuilds, and still answers
+        with zero failed jobs — recovery visible in ``/metrics``."""
+        proc, url = self._spawn("--engine-workers", "2",
+                                "--faults", "worker_crash=1:x1")
+        try:
+            client = AnalysisClient(url, timeout=120)
+            outcome = client.analyze(FAST_DECK, "2")
+            assert outcome.ok
+            metrics = client.metrics()
+            assert metrics["solver"]["pool_rebuilds"] >= 1
+            assert metrics["faults"]["worker_crash"]["fires"] == 1
+            assert client.healthz()["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+class TestInjectedHttpFaults:
+    def test_injected_429_and_503_are_marked_and_bounded(self, service):
+        faults.install(FaultPlan.parse("http_429=1:0.25:x1,http_503=1:x1"))
+        status, body, headers = service.submit(request_body(FAST_DECK, ["2"]))
+        assert status == 429
+        assert headers["X-Repro-Fault"] == "http_429"
+        assert headers["Retry-After"] == "0.25"
+        assert "injected fault" in json.loads(body)["error"]
+
+        status2, body2, headers2 = service.submit(request_body(FAST_DECK, ["2"]))
+        assert status2 == 503
+        assert headers2["X-Repro-Fault"] == "http_503"
+
+        # Both probes exhausted: the real path is untouched underneath.
+        status3, _, headers3 = service.submit(request_body(FAST_DECK, ["2"]))
+        assert status3 == 200
+        assert "X-Repro-Fault" not in headers3
+
+        metrics = service.metrics()
+        assert metrics["faults_injected"] == 2
+        assert metrics["faults"]["http_429"]["fires"] == 1
+        assert metrics["faults"]["http_503"]["fires"] == 1
+
+    def test_injected_timeout_stalls_then_serves(self, service):
+        faults.install(FaultPlan.parse("http_timeout=1:0.05:x1"))
+        began = time.monotonic()
+        status, _, _ = service.submit(request_body(FAST_DECK, ["2"]))
+        assert status == 200
+        assert time.monotonic() - began >= 0.05
+        assert service.metrics()["faults_injected"] == 1
+
+    def test_no_plan_means_no_fault_bookkeeping(self, service):
+        status, _, _ = service.submit(request_body(FAST_DECK, ["2"]))
+        assert status == 200
+        metrics = service.metrics()
+        assert metrics["faults_injected"] == 0
+        assert "faults" not in metrics
+
+
+class TestDegradedMode:
+    def crashy_service(self, threshold=2):
+        return AnalysisService(workers=1, queue_size=4, engine_workers=2,
+                               degraded_threshold=threshold).start()
+
+    def test_consecutive_crash_requests_flip_healthz_to_degraded(self):
+        svc = self.crashy_service(threshold=2)
+        try:
+            faults.install(FaultPlan.parse("worker_crash=1"))
+            for nodes in (["1"], ["2"]):
+                status, body, _ = svc.submit(request_body(FAST_DECK, nodes))
+                assert status == 200  # structured failure, not an HTTP error
+                document = json.loads(body)
+                assert document["totals"]["jobs_failed"] == 1
+                assert document["jobs"][0]["error_type"] == "WorkerCrashError"
+
+            status, payload = svc.healthz()
+            assert status == 503
+            health = json.loads(payload)
+            assert health["status"] == "degraded"
+            assert health["consecutive_worker_failures"] == 2
+            metrics = svc.metrics()
+            assert metrics["degraded"] is True
+            assert metrics["worker_crash_requests"] == 2
+            assert metrics["degraded_entries"] == 1
+            assert metrics["requests_failed"] == 2
+        finally:
+            faults.reset()
+            svc.close(timeout=60)
+
+    def test_one_clean_request_clears_degraded(self):
+        svc = self.crashy_service(threshold=1)
+        try:
+            faults.install(FaultPlan.parse("worker_crash=1"))
+            svc.submit(request_body(FAST_DECK, ["1"]))
+            assert svc.healthz()[0] == 503
+
+            faults.reset()  # the environment heals
+            status, body, _ = svc.submit(request_body(FAST_DECK, ["2"]))
+            assert status == 200
+            assert json.loads(body)["totals"]["jobs_failed"] == 0
+            status, payload = svc.healthz()
+            assert status == 200
+            assert json.loads(payload)["consecutive_worker_failures"] == 0
+            assert svc.metrics()["degraded"] is False
+        finally:
+            faults.reset()
+            svc.close(timeout=60)
+
+    def test_recovered_rebuild_does_not_count_toward_degradation(self):
+        # x1: the single crash is healed by the pool rebuild, so the
+        # request comes back clean and the streak never starts.
+        svc = self.crashy_service(threshold=1)
+        try:
+            faults.install(FaultPlan.parse("worker_crash=1:x1"))
+            status, body, _ = svc.submit(request_body(FAST_DECK, ["1"]))
+            assert status == 200
+            assert json.loads(body)["totals"]["jobs_failed"] == 0
+            assert svc.healthz()[0] == 200
+            assert svc.metrics()["worker_crash_requests"] == 0
+            assert svc.metrics()["solver"]["pool_rebuilds"] == 1
+        finally:
+            faults.reset()
+            svc.close(timeout=60)
+
+    def test_degraded_sheds_load_around_a_single_canary(self):
+        svc = AnalysisService(workers=2, queue_size=8).start()
+        try:
+            # Prime the cache, then force the degraded flag directly (the
+            # flip itself is covered above; this pins the shed-load
+            # semantics deterministically).
+            primed = request_body(FAST_DECK, ["2"])
+            assert svc.submit(primed)[0] == 200
+            with svc._lock:
+                svc._degraded = True
+                svc._consecutive_crashes = svc.degraded_threshold
+
+            outcome = {}
+
+            def canary():
+                outcome["result"] = svc.submit(slow_body())
+
+            thread = threading.Thread(target=canary)
+            thread.start()
+            try:
+                assert wait_until(lambda: svc._in_flight >= 1)
+
+                status, body, headers = svc.submit(
+                    request_body(FAST_DECK, ["1"]))
+                assert status == 503
+                assert "degraded" in json.loads(body)["error"]
+                assert int(headers["Retry-After"]) >= 1
+
+                # Cache hits bypass admission: still served while shedding.
+                status, _, headers = svc.submit(primed)
+                assert status == 200
+                assert headers["X-Repro-Cache"] == "hit"
+            finally:
+                thread.join(timeout=120)
+
+            # The canary completed cleanly and cleared the state.
+            assert outcome["result"][0] == 200
+            assert svc.metrics()["degraded"] is False
+            assert svc.metrics()["rejected_degraded"] == 1
+            assert svc.healthz()[0] == 200
+        finally:
+            svc.close(timeout=60)
+
+
+def _scrub(value):
+    """Strip the wall-clock parts of a run report so two documents can
+    be compared for *numeric* identity across runs."""
+    drop = {"elapsed_s", "phase_seconds", "wall_time_s", "counters",
+            "events", "uptime_s"}
+    if isinstance(value, dict):
+        return {key: _scrub(item) for key, item in value.items()
+                if key not in drop}
+    if isinstance(value, list):
+        return [_scrub(item) for item in value]
+    return value
+
+
+class TestResilienceAcceptance:
+    """The issue's bar: under one worker crash mid-batch plus ~10%
+    injected 429/503 at the HTTP boundary, a 50-job run completes with
+    zero client-visible failures and numerically identical results."""
+
+    DECKS = [FAST_DECK.replace("R2 1 2 2k", f"R2 1 2 {2000 + i}")
+             for i in range(50)]
+
+    def run_all(self, retries):
+        with ServiceServer(port=0, workers=2, engine_workers=2) as server:
+            client = AnalysisClient(server.url, timeout=120, retries=retries,
+                                    backoff_base=0.01, backoff_cap=0.5,
+                                    rng=random.Random(7))
+            outcomes = [client.analyze(deck, ["2"]) for deck in self.DECKS]
+            return outcomes, client.stats(), server.service.metrics()
+
+    def test_fifty_jobs_survive_injected_faults_bit_for_bit(self):
+        clean_outcomes, _, _ = self.run_all(retries=0)
+        assert all(outcome.ok for outcome in clean_outcomes)
+
+        faults.install(FaultPlan.parse(
+            "worker_crash=1:x1,http_429=0.05:0.02,http_503=0.05:0.02",
+            seed=1))
+        faulty_outcomes, client_stats, metrics = self.run_all(retries=6)
+
+        assert all(outcome.ok for outcome in faulty_outcomes)
+        assert [_scrub(outcome.document) for outcome in faulty_outcomes] \
+            == [_scrub(outcome.document) for outcome in clean_outcomes]
+
+        # The campaign really injected: the crash fired and was healed,
+        # HTTP refusals were absorbed by client retries.
+        assert metrics["solver"]["pool_rebuilds"] >= 1
+        assert metrics["faults"]["worker_crash"]["fires"] == 1
+        assert metrics["faults_injected"] >= 1
+        assert client_stats["client_retries"] >= 1
+        assert client_stats["retries_exhausted"] == 0
+        assert metrics["requests_failed"] == 0
+        assert metrics["degraded"] is False
