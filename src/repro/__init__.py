@@ -64,13 +64,33 @@ from repro.errors import (
     OrderLimitError,
     ReproError,
     SingularCircuitError,
+    StaError,
     TopologyError,
     UnstableApproximationError,
     WorkerCrashError,
 )
 from repro.instrumentation import SolverStats
-from repro.report import build_report, render_markdown, validate_report
+from repro.report import (
+    build_report,
+    build_sta_report,
+    render_markdown,
+    render_sta_markdown,
+    validate_report,
+    validate_sta_report,
+)
 from repro.service import AnalysisClient, AnalysisService, ResultCache, ServiceServer
+from repro.sta import (
+    CellLibrary,
+    Corner,
+    Design,
+    StaRun,
+    TimingGraph,
+    analyze,
+    build_timing_graph,
+    default_library,
+    report_top_k_critical_paths,
+    run_sta,
+)
 from repro.trace import NULL_TRACER, Tracer
 from repro.waveform import Waveform, l2_error
 
@@ -89,10 +109,13 @@ __all__ = [
     "BatchResult",
     "BatchTimeoutError",
     "Capacitor",
+    "CellLibrary",
     "Circuit",
     "CircuitError",
+    "Corner",
     "CurrentSource",
     "DC",
+    "Design",
     "Inductor",
     "MnaSystem",
     "MomentMatrixError",
@@ -109,22 +132,33 @@ __all__ = [
     "ServiceServer",
     "SingularCircuitError",
     "SolverStats",
+    "StaError",
+    "StaRun",
     "Step",
     "Stimulus",
+    "TimingGraph",
     "TopologyError",
     "Tracer",
     "UnstableApproximationError",
     "VoltageSource",
     "Waveform",
     "WorkerCrashError",
+    "analyze",
     "awe_response",
     "build_report",
+    "build_sta_report",
+    "build_timing_graph",
     "circuit_poles",
+    "default_library",
     "l2_error",
     "parse_netlist",
     "parse_netlist_file",
     "render_markdown",
+    "render_sta_markdown",
+    "report_top_k_critical_paths",
+    "run_sta",
     "simulate",
     "validate_report",
+    "validate_sta_report",
     "__version__",
 ]

@@ -41,12 +41,23 @@ Installed as ``python -m repro``.  The subcommands:
     report (byte-identical across re-runs of the same seed range).  See
     ``docs/testing.md``.
 
+``sta``
+    Static timing analysis of a gate-level design (JSON): freeze a
+    timing DAG whose net delays come from per-net AWE runs (or Elmore
+    with ``--interconnect elmore``), propagate arrivals/requireds, and
+    report per-endpoint slack plus the top-K critical paths — per
+    corner (``--corner slow:wire_r=1.5,cell=1.3``, repeatable).  Runs
+    locally by default or against a daemon with ``--server URL``
+    (``POST /sta``); ``--json`` / ``--markdown`` emit the
+    ``repro.sta-report/1`` document and its rendering.  See
+    ``docs/sta.md``.
+
 ``serve``
     Run the long-lived analysis daemon: a JSON HTTP API (``POST
-    /analyze``, ``GET /healthz``, ``GET /metrics``) over a persistent
-    worker pool with a content-addressed result cache, bounded-queue
-    admission control (429 when full), and graceful SIGTERM drain.  See
-    ``docs/service.md``.
+    /analyze``, ``POST /sta``, ``GET /healthz``, ``GET /metrics``) over
+    a persistent worker pool with a content-addressed result cache,
+    bounded-queue admission control (429 when full), and graceful
+    SIGTERM drain.  See ``docs/service.md``.
 
 ``analyze``
     Client for a running daemon: send one deck to ``--server URL`` and
@@ -60,6 +71,7 @@ Examples::
     python -m repro simulate net.sp --node out --t-stop 5e-9 --csv out.csv
     python -m repro batch net1.sp net2.sp --node out --workers 4 --stats
     python -m repro fuzz --seeds 200 --shrink --report crashes.json
+    python -m repro sta design.json --k 5 --corner slow:wire_r=1.5,cell=1.3
     python -m repro serve --port 8040 --workers 4 --cache-dir /var/cache/repro
     python -m repro analyze net.sp --server http://127.0.0.1:8040 --node out
 """
@@ -179,6 +191,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "fuzzer itself")
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress the per-failure progress lines")
+
+    sta = commands.add_parser(
+        "sta", help="static timing analysis of a design (docs/sta.md)"
+    )
+    sta.add_argument("design", help="design JSON file ('-' = stdin)")
+    sta.add_argument("--k", type=int, default=5,
+                     help="critical paths to report per corner (default 5)")
+    sta.add_argument("--interconnect", choices=["awe", "elmore"],
+                     default="awe",
+                     help="net-delay model: AWE waveforms (default) or "
+                          "first-moment Elmore")
+    sta.add_argument("--corner", action="append", metavar="SPEC",
+                     help="analysis corner as NAME[:wire_r=F,wire_c=F,"
+                          "cell=F] (repeatable; default: nominal)")
+    sta.add_argument("--library", metavar="PATH",
+                     help="cell-library JSON (default: the built-in "
+                          "five-cell library)")
+    sta.add_argument("--server", metavar="URL",
+                     help="run on a daemon via POST /sta instead of locally")
+    sta.add_argument("--timeout", type=float,
+                     help="server-side per-request budget in seconds "
+                          "(with --server)")
+    sta.add_argument("--retries", type=int, default=2,
+                     help="extra attempts for transient failures "
+                          "(with --server; default 2)")
+    sta.add_argument("--json", metavar="PATH",
+                     help="write the repro.sta-report/1 JSON here; "
+                          "'-' = stdout")
+    sta.add_argument("--markdown", metavar="PATH",
+                     help="write the Markdown report here; '-' = stdout")
 
     serve = commands.add_parser(
         "serve", help="run the long-lived analysis daemon (docs/service.md)"
@@ -525,6 +567,99 @@ def cmd_fuzz(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _parse_corner_spec(spec: str):
+    """``NAME[:wire_r=F,wire_c=F,cell=F]`` → :class:`repro.sta.Corner`."""
+    from repro.sta import Corner
+
+    name, _, rest = spec.partition(":")
+    if not name:
+        raise ReproError(f"corner spec {spec!r} needs a name")
+    factors = {}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or key not in ("wire_r", "wire_c", "cell"):
+                raise ReproError(
+                    f"corner spec {spec!r}: expected wire_r=, wire_c= or "
+                    f"cell= assignments, got {item!r}")
+            try:
+                factors[key] = float(value)
+            except ValueError:
+                raise ReproError(
+                    f"corner spec {spec!r}: {key} must be a number, "
+                    f"got {value!r}") from None
+    return Corner(name=name, **factors)
+
+
+def cmd_sta(args) -> int:
+    import json
+    import time
+
+    from repro.report import (build_sta_report, render_sta_markdown,
+                              validate_sta_report)
+    from repro.sta import CellLibrary, Design, run_sta
+    from repro.trace import Tracer
+
+    started = time.perf_counter()
+    if args.design == "-":
+        design_payload = json.load(sys.stdin)
+    else:
+        with open(args.design, "r", encoding="utf-8") as handle:
+            design_payload = json.load(handle)
+    design = Design.from_dict(design_payload)
+    library = None
+    if args.library is not None:
+        with open(args.library, "r", encoding="utf-8") as handle:
+            library = CellLibrary.from_dict(json.load(handle))
+    corners = None
+    if args.corner:
+        corners = [_parse_corner_spec(spec) for spec in args.corner]
+    parse_s = time.perf_counter() - started
+
+    if args.server is not None:
+        from repro.service import AnalysisClient
+
+        client = AnalysisClient(args.server, retries=args.retries)
+        outcome = client.sta(design, k=args.k, corners=corners,
+                             interconnect=args.interconnect,
+                             library=library, timeout=args.timeout)
+        document = outcome.document
+        body_text = outcome.body.decode("utf-8")
+        print(f"server: {args.server} "
+              f"[{'cache hit' if outcome.cached else 'computed'}, "
+              f"{outcome.server_elapsed_s * 1e3:.2f} ms server-side]",
+              file=sys.stderr)
+    else:
+        from repro.sta import NOMINAL
+
+        tracer = Tracer(name="sta", design=design.name)
+        run = run_sta(design, library=library, k=args.k,
+                      corners=tuple(corners) if corners else (NOMINAL,),
+                      interconnect=args.interconnect, tracer=tracer)
+        document = validate_sta_report(
+            build_sta_report(run, trace=tracer.to_record(), parse_s=parse_s))
+        body_text = json.dumps(document, indent=2) + "\n"
+
+    if args.json is not None:
+        _write_text(args.json, body_text)
+    if args.markdown is not None:
+        _write_text(args.markdown, render_sta_markdown(document))
+    if args.json is None and args.markdown is None:
+        worst = document["worst_slack_s"]
+        worst_text = "unconstrained" if worst is None else fmt(worst, "s")
+        print(f"STA: {document['design']} "
+              f"[{document['interconnect']}] worst slack {worst_text}")
+        for corner in document["corners"]:
+            print(f"\ncorner {corner['name']}: {corner['nodes']} nodes, "
+                  f"{corner['edges']} edges")
+            print(f"  {'#':>2} {'slack':>12} {'endpoint':<18} path")
+            for entry in corner["paths"]:
+                chain = " > ".join(entry["nodes"])
+                print(f"  {entry['rank']:>2} {fmt(entry['slack_s'], 's'):>12} "
+                      f"{entry['endpoint']:<18} {chain}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.service import serve
 
@@ -617,6 +752,7 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": cmd_sensitivity,
         "batch": cmd_batch,
         "fuzz": cmd_fuzz,
+        "sta": cmd_sta,
         "serve": cmd_serve,
         "analyze": cmd_analyze,
     }

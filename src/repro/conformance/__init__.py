@@ -37,6 +37,16 @@ from repro.conformance.generate import FAMILIES, FuzzCase, generate_case
 from repro.conformance.runner import REPORT_SCHEMA, run_fuzz
 from repro.conformance.shrink import ShrinkResult, shrink_case
 
+# Imported last: registers the STA graph checks into CHECKS.
+from repro.conformance.sta import (
+    STA_CHECKS,
+    STA_CORPUS_SCHEMA,
+    StaCase,
+    StaCorpusEntry,
+    enumerate_critical_paths,
+    generate_sta_case,
+)
+
 __all__ = [
     "CHECKS",
     "CORPUS_SCHEMA",
@@ -45,9 +55,15 @@ __all__ = [
     "FuzzCase",
     "FuzzConfig",
     "REPORT_SCHEMA",
+    "STA_CHECKS",
+    "STA_CORPUS_SCHEMA",
     "ShrinkResult",
     "SkipCheck",
+    "StaCase",
+    "StaCorpusEntry",
+    "enumerate_critical_paths",
     "generate_case",
+    "generate_sta_case",
     "load_corpus",
     "replay_entry",
     "run_check",

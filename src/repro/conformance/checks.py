@@ -448,7 +448,20 @@ CHECKS: dict = {
 }
 
 
-def run_check(name: str, case: FuzzCase, config: FuzzConfig) -> list[str]:
+def run_check(name: str, case, config: FuzzConfig) -> list[str]:
     """Run one named check; raises ``KeyError`` for unknown names and
-    :class:`SkipCheck` when the check does not apply."""
-    return CHECKS[name](case, config)
+    :class:`SkipCheck` when the check does not apply.
+
+    Checks and cases both carry a ``kind`` tag (``"circuit"`` unless
+    they say otherwise — :mod:`repro.conformance.sta` registers
+    ``"sta"`` graph checks); a mismatch is an automatic skip, so one
+    seed stream can interleave circuit and STA cases under the full
+    check registry.
+    """
+    check = CHECKS[name]
+    case_kind = getattr(case, "kind", "circuit")
+    check_kind = getattr(check, "case_kind", "circuit")
+    if check_kind != case_kind:
+        raise SkipCheck(f"check {name!r} applies to {check_kind} cases, "
+                        f"got a {case_kind} case")
+    return check(case, config)

@@ -103,16 +103,28 @@ def write_entry(entry: CorpusEntry, directory: pathlib.Path | str) -> pathlib.Pa
     return path
 
 
-def load_corpus(directory: pathlib.Path | str) -> list[CorpusEntry]:
-    """All entries under ``directory``, sorted by file name."""
+def load_corpus(directory: pathlib.Path | str) -> list:
+    """All entries under ``directory``, sorted by file name.
+
+    Dispatches on each file's ``schema`` marker: circuit entries
+    (``repro.fuzz-corpus/1``) become :class:`CorpusEntry`, STA graph
+    entries (``repro.sta-corpus/1``) become
+    :class:`~repro.conformance.sta.StaCorpusEntry`.  Both replay
+    through :func:`replay_entry`.
+    """
     directory = pathlib.Path(directory)
-    entries: list[CorpusEntry] = []
+    entries: list = []
     if not directory.is_dir():
         return entries
     for path in sorted(directory.glob("*.json")):
         payload = json.loads(path.read_text(encoding="utf-8"))
         try:
-            entries.append(CorpusEntry.from_dict(payload))
+            if payload.get("schema") == "repro.sta-corpus/1":
+                from repro.conformance.sta import StaCorpusEntry
+
+                entries.append(StaCorpusEntry.from_dict(payload))
+            else:
+                entries.append(CorpusEntry.from_dict(payload))
         except (TypeError, ReproError) as exc:
             raise ReproError(f"invalid corpus entry {path.name}: {exc}") from exc
     return entries

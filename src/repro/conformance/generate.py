@@ -49,6 +49,8 @@ class FuzzCase:
     stimuli: dict[str, Stimulus]
     nodes: tuple[str, ...]
     source: str
+    kind = "circuit"  # class attribute: the run_check dispatch tag
+
     is_rc_tree: bool = False
     l2_bound: float = 0.02
     refine_tolerance: float = 3e-4
@@ -230,9 +232,23 @@ def _case_coupled_rlc(seed: int, rng: np.random.Generator) -> FuzzCase:
                     l2_bound=0.05, refine_tolerance=1e-3)
 
 
+def _case_sta(seed: int, rng: np.random.Generator):
+    """A layered timing DAG with dyadic delays (see
+    :mod:`repro.conformance.sta`).  Imported lazily: the sta module
+    pulls in ``repro.sta`` which this module must not depend on at
+    import time."""
+    from repro.conformance.sta import generate_sta_case
+
+    return generate_sta_case(seed, rng=rng)
+
+
 #: Family name → (builder, selection weight).  Weights bias toward the
 #: cheap RC families so a 200-seed run stays fast; the expensive
-#: oscillatory families still appear on every run of that size.
+#: oscillatory families still appear on every run of that size.  The
+#: ``sta`` family yields graph cases (``kind == "sta"``) that only the
+#: STA checks run on; its weight is consumed by a *separate* pre-draw
+#: (see :func:`generate_case`) so adding it left every circuit seed's
+#: case bit-identical to the calibrated pre-sta stream.
 FAMILIES: dict = {
     "rc_tree": (_case_rc_tree, 0.18),
     "rc_ladder": (_case_rc_ladder, 0.12),
@@ -245,6 +261,7 @@ FAMILIES: dict = {
     "coupled_rc": (_case_coupled_rc, 0.05),
     "rlc_line": (_case_rlc_line, 0.03),
     "coupled_rlc": (_case_coupled_rlc, 0.02),
+    "sta": (_case_sta, 0.10),
 }
 
 
@@ -253,6 +270,12 @@ def generate_case(seed: int, family: str | None = None) -> FuzzCase:
 
     ``family`` forces a specific family (same seed → same circuit within
     that family); by default the family itself is drawn from the seed.
+
+    The ``sta`` family is carved out with an independently-seeded
+    pre-draw *before* the circuit-family choice touches the main rng:
+    the seeds it does not claim consume exactly the rng stream they did
+    before the family existed, so every calibrated circuit case stays
+    bit-identical and only the claimed seeds switch to graph cases.
     """
     if family is not None and family not in FAMILIES:
         raise CircuitError(
@@ -260,8 +283,11 @@ def generate_case(seed: int, family: str | None = None) -> FuzzCase:
         )
     rng = np.random.default_rng(seed)
     if family is None:
-        names = list(FAMILIES)
-        weights = np.array([FAMILIES[name][1] for name in names])
-        family = str(rng.choice(names, p=weights / weights.sum()))
+        if np.random.default_rng([seed, 0x57A]).random() < FAMILIES["sta"][1]:
+            family = "sta"
+        else:
+            names = [name for name in FAMILIES if name != "sta"]
+            weights = np.array([FAMILIES[name][1] for name in names])
+            family = str(rng.choice(names, p=weights / weights.sum()))
     builder = FAMILIES[family][0]
     return builder(seed, rng)

@@ -92,17 +92,23 @@ def run_fuzz(
                 continue
             case_failures += 1
             record["nodes"] = list(case.nodes)
-            record["netlist"] = write_netlist(
-                case.circuit, case.stimuli,
-                title=f"fuzz seed={seed} family={case.family}",
-                canonical=True)
-            if shrink:
-                try:
-                    record["shrunk"] = shrink_case(
-                        case, config, name,
-                        max_evaluations=max_shrink_evaluations).as_dict()
-                except Exception as exc:
-                    record["shrunk"] = {"error": _error_record(exc)}
+            if getattr(case, "kind", "circuit") == "sta":
+                # Graph cases have no netlist and the netlist shrinker
+                # does not apply; the payload is already minimal enough
+                # to paste into an StaCorpusEntry.
+                record["graph"] = case.to_payload()
+            else:
+                record["netlist"] = write_netlist(
+                    case.circuit, case.stimuli,
+                    title=f"fuzz seed={seed} family={case.family}",
+                    canonical=True)
+                if shrink:
+                    try:
+                        record["shrunk"] = shrink_case(
+                            case, config, name,
+                            max_evaluations=max_shrink_evaluations).as_dict()
+                    except Exception as exc:
+                        record["shrunk"] = {"error": _error_record(exc)}
             failures.append(record)
 
         if progress is not None:

@@ -1,0 +1,417 @@
+"""Metamorphic fuzzing of the STA engine (``repro.sta.graph``).
+
+The circuit families feed waveforms through the AWE pipeline; this
+module fuzzes the *other* half of the timing stack — arrival/required
+propagation and top-K path enumeration — with graph-level metamorphic
+invariants plus a brute-force oracle:
+
+``sta_slack_monotone``
+    Increasing any edge delay can only make timing worse: no endpoint
+    slack may increase.  Checked *exactly* — every generated delay is an
+    integer multiple of one dyadic tick, so float accumulation is exact
+    and the comparison needs no tolerance.
+``sta_zero_buffer``
+    Splitting an edge through a zero-delay buffer node is an identity:
+    every original node keeps its arrival, required time, and slack bit
+    for bit, and the full path set (buffer stripped) is unchanged.
+``sta_delay_scaling``
+    Scaling every delay, arrival, and required time by α = 2 scales
+    every arrival, required time, and slack by exactly 2 (α is a power
+    of two, so the scaling itself is exact) and permutes no path ranks.
+``sta_top_k_oracle``
+    ``report_top_k_critical_paths`` agrees with an exhaustive recursive
+    path enumerator — same paths, same order, same left-to-right float
+    sums — on path set, ordering, and slack.
+
+Cases are layered random DAGs with dyadic delays: every delay is
+``integer * 2**-30`` seconds, every sum of a handful of them is exact in
+a double, and metamorphic transforms (+64 ticks, ×2) stay exact.  The
+checks therefore demand **bit equality**, the strongest oracle a
+floating-point engine can face.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.conformance.checks import CHECKS, FuzzConfig
+from repro.errors import ReproError
+from repro.sta.graph import (
+    CriticalPath,
+    TimingGraph,
+    analyze,
+    report_top_k_critical_paths,
+)
+
+STA_CORPUS_SCHEMA = "repro.sta-corpus/1"
+
+#: One dyadic tick: all generated times are integer multiples of this,
+#: so every sum a path takes is exactly representable in a double.
+_TICK = 2.0 ** -30
+
+
+@dataclasses.dataclass(frozen=True)
+class StaCase:
+    """One generated STA fuzz case: a timing DAG plus its constraints.
+
+    ``nodes`` are the constrained endpoints (what the runner records on
+    failure); ``k`` the path count the oracle check requests.  The
+    class-level ``kind`` tag is what :func:`~repro.conformance.checks.
+    run_check` dispatches on — circuit checks skip STA cases and vice
+    versa.
+    """
+
+    kind = "sta"  # class attribute, not a field: the dispatch tag
+
+    seed: int
+    family: str
+    graph: TimingGraph
+    arrivals: dict[str, float]
+    required: dict[str, float]
+    nodes: tuple[str, ...]
+    k: int = 8
+
+    def to_payload(self) -> dict:
+        """A JSON-safe description (the runner's failure record)."""
+        return {
+            "edges": [[e.src, e.dst, e.delay] for e in self.graph.edges()],
+            "arrivals": dict(self.arrivals),
+            "required": dict(self.required),
+            "k": self.k,
+        }
+
+
+def generate_sta_case(seed: int, rng: np.random.Generator | None = None) -> StaCase:
+    """Deterministically build the STA fuzz case for ``seed``.
+
+    The graph is a layered DAG (2–5 layers, 1–4 nodes each) with
+    adjacent-layer edges plus a few layer-skipping shortcuts, dyadic
+    delays in ``[1, 4096] * 2**-30`` s, dyadic launch arrivals on the
+    first layer, dyadic required times on the last layer, and — a
+    quarter of the time — one extra mid-graph endpoint.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    n_layers = int(rng.integers(2, 6))
+    widths = [int(rng.integers(1, 5)) for _ in range(n_layers)]
+    layers = [[f"n{li}_{i}" for i in range(width)]
+              for li, width in enumerate(widths)]
+
+    graph = TimingGraph(f"sta fuzz seed={seed}")
+    for layer in layers:
+        for node in layer:
+            graph.add_node(node)
+
+    def dyadic(low: int, high: int) -> float:
+        return int(rng.integers(low, high + 1)) * _TICK
+
+    # Every node past layer 0 gets >= 1 in-edge from the previous layer,
+    # so (with arrivals on all of layer 0) every node is reachable.
+    for li in range(1, n_layers):
+        prev = layers[li - 1]
+        for node in layers[li]:
+            fanin = int(rng.integers(1, min(3, len(prev)) + 1))
+            picks = rng.choice(len(prev), size=fanin, replace=False)
+            for si in sorted(int(p) for p in picks):
+                graph.add_edge(prev[si], node, dyadic(1, 4096))
+
+    # A few layer-skipping shortcuts (always low layer -> high layer, so
+    # acyclicity is free).  Duplicates are simply skipped.
+    if n_layers > 2:
+        for _ in range(int(rng.integers(0, 3))):
+            lo = int(rng.integers(0, n_layers - 2))
+            hi = int(rng.integers(lo + 2, n_layers))
+            src = layers[lo][int(rng.integers(0, len(layers[lo])))]
+            dst = layers[hi][int(rng.integers(0, len(layers[hi])))]
+            if dst not in {e.dst for e in graph.out_edges(src)}:
+                graph.add_edge(src, dst, dyadic(1, 4096))
+
+    arrivals = {node: dyadic(0, 1024) for node in layers[0]}
+    required = {node: dyadic(4096, 65536) for node in layers[-1]}
+    if n_layers > 2 and rng.random() < 0.25:
+        mid = layers[int(rng.integers(1, n_layers - 1))]
+        node = mid[int(rng.integers(0, len(mid)))]
+        required.setdefault(node, dyadic(4096, 65536))
+
+    return StaCase(
+        seed=seed, family="sta", graph=graph, arrivals=arrivals,
+        required=required, nodes=tuple(sorted(required)),
+        k=int(rng.integers(1, 13)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _rebuilt(case: StaCase, delay_of) -> TimingGraph:
+    """A copy of the case's graph with each edge delay mapped through
+    ``delay_of(edge)``."""
+    clone = TimingGraph(case.graph.name)
+    for node in case.graph.nodes:
+        clone.add_node(node)
+    for edge in case.graph.edges():
+        clone.add_edge(edge.src, edge.dst, delay_of(edge),
+                       kind=edge.kind, label=edge.label)
+    return clone
+
+
+def enumerate_critical_paths(
+    graph: TimingGraph,
+    arrivals: dict[str, float],
+    required: dict[str, float],
+) -> list[CriticalPath]:
+    """Brute force: *every* launch-to-endpoint path, globally sorted.
+
+    Accumulates arrivals left to right exactly like the engine, so on
+    any input — dyadic or not — a correct engine matches bit for bit.
+    Exponential in the worst case; meant for the small fuzz DAGs.
+    """
+    paths: list[CriticalPath] = []
+
+    def walk(node, nodes, edges, arrived):
+        if node in required:
+            paths.append(CriticalPath(
+                nodes=nodes, edges=edges, arrival=arrived,
+                required=required[node], slack=required[node] - arrived))
+        for edge in graph.out_edges(node):
+            walk(edge.dst, nodes + (edge.dst,), edges + (edge,),
+                 arrived + edge.delay)
+
+    for start in sorted(arrivals):
+        walk(start, (start,), (), arrivals[start])
+    paths.sort(key=lambda p: (p.slack, p.nodes))
+    return paths
+
+
+# ----------------------------------------------------------------------
+# The checks
+# ----------------------------------------------------------------------
+
+
+def check_sta_slack_monotone(case: StaCase, config: FuzzConfig) -> list[str]:
+    """Bumping up to three edge delays never *increases* any endpoint
+    slack (exact — the bump of 64 ticks keeps every sum dyadic)."""
+    violations: list[str] = []
+    edges = list(case.graph.edges())
+    if not edges:
+        return violations
+    rng = np.random.default_rng([case.seed, 0x51AC])
+    count = min(len(edges), int(rng.integers(1, 4)))
+    picks = rng.choice(len(edges), size=count, replace=False)
+    bumped = {(edges[int(i)].src, edges[int(i)].dst) for i in picks}
+
+    before = analyze(case.graph, case.arrivals, case.required)
+    after = analyze(
+        _rebuilt(case, lambda e: e.delay + (64 * _TICK
+                                            if (e.src, e.dst) in bumped
+                                            else 0.0)),
+        case.arrivals, case.required)
+    for endpoint in sorted(case.required):
+        if after.slack[endpoint] > before.slack[endpoint]:
+            violations.append(
+                f"endpoint {endpoint}: slack rose from "
+                f"{before.slack[endpoint]!r} to {after.slack[endpoint]!r} "
+                f"after increasing {count} edge delay(s)")
+    return violations
+
+
+def check_sta_zero_buffer(case: StaCase, config: FuzzConfig) -> list[str]:
+    """Splitting one edge through a zero-delay buffer changes nothing:
+    arrival / required / slack at every original node are bit-identical
+    and the full (buffer-stripped) path set is unchanged."""
+    violations: list[str] = []
+    edges = list(case.graph.edges())
+    if not edges:
+        return violations
+    rng = np.random.default_rng([case.seed, 0xB0F])
+    split = edges[int(rng.integers(0, len(edges)))]
+    buffer_node = "__buf__"
+    while case.graph.has_node(buffer_node):
+        buffer_node += "_"
+
+    buffered = TimingGraph(case.graph.name)
+    for node in case.graph.nodes:
+        buffered.add_node(node)
+    for edge in case.graph.edges():
+        if edge is split:
+            buffered.add_edge(edge.src, buffer_node, edge.delay,
+                              kind=edge.kind, label=edge.label)
+            buffered.add_edge(buffer_node, edge.dst, 0.0,
+                              kind=edge.kind, label=edge.label)
+        else:
+            buffered.add_edge(edge.src, edge.dst, edge.delay,
+                              kind=edge.kind, label=edge.label)
+
+    before = analyze(case.graph, case.arrivals, case.required)
+    after = analyze(buffered, case.arrivals, case.required)
+    for node in case.graph.nodes:
+        for field in ("arrival", "required_time", "slack"):
+            a, b = getattr(before, field)[node], getattr(after, field)[node]
+            if a != b:
+                violations.append(
+                    f"node {node}: {field} changed from {a!r} to {b!r} "
+                    f"after zero-delay buffer insertion on "
+                    f"{split.src}->{split.dst}")
+
+    plain = [(p.slack, p.nodes, p.arrival) for p in
+             enumerate_critical_paths(case.graph, case.arrivals, case.required)]
+    stripped = [(p.slack,
+                 tuple(n for n in p.nodes if n != buffer_node),
+                 p.arrival)
+                for p in enumerate_critical_paths(buffered, case.arrivals,
+                                                  case.required)]
+    if plain != stripped:
+        violations.append(
+            f"path set changed after zero-delay buffer insertion on "
+            f"{split.src}->{split.dst}: {len(plain)} paths before, "
+            f"{len(stripped)} after (or order/slack differs)")
+    return violations
+
+
+def check_sta_delay_scaling(case: StaCase, config: FuzzConfig) -> list[str]:
+    """Scaling every time by α = 2 scales every result by exactly 2 and
+    preserves every path rank."""
+    violations: list[str] = []
+    alpha = 2.0
+    before = analyze(case.graph, case.arrivals, case.required)
+    after = analyze(
+        _rebuilt(case, lambda e: e.delay * alpha),
+        {n: t * alpha for n, t in case.arrivals.items()},
+        {n: t * alpha for n, t in case.required.items()})
+    for node in case.graph.nodes:
+        for field in ("arrival", "required_time", "slack"):
+            a, b = getattr(before, field)[node], getattr(after, field)[node]
+            if b != a * alpha:
+                violations.append(
+                    f"node {node}: {field} is {b!r} after x{alpha:g} "
+                    f"scaling, expected {a * alpha!r}")
+    paths_before = before.top_paths(case.k)
+    paths_after = after.top_paths(case.k)
+    if [p.nodes for p in paths_after] != [p.nodes for p in paths_before]:
+        violations.append(
+            f"x{alpha:g} scaling permuted the top-{case.k} path ranks")
+    else:
+        for rank, (p, q) in enumerate(zip(paths_before, paths_after), 1):
+            if q.slack != p.slack * alpha or q.arrival != p.arrival * alpha:
+                violations.append(
+                    f"path #{rank} ({' -> '.join(p.nodes)}): slack/arrival "
+                    f"did not scale by exactly {alpha:g}")
+    return violations
+
+
+def check_sta_top_k_oracle(case: StaCase, config: FuzzConfig) -> list[str]:
+    """``report_top_k_critical_paths`` against exhaustive enumeration:
+    same paths, same global order, bit-identical sums."""
+    violations: list[str] = []
+    expected = enumerate_critical_paths(
+        case.graph, case.arrivals, case.required)[:case.k]
+    actual = report_top_k_critical_paths(
+        case.graph, case.arrivals, case.required, case.k)
+    if len(actual) != len(expected):
+        violations.append(
+            f"engine returned {len(actual)} paths, oracle expects "
+            f"{len(expected)} (k={case.k})")
+        return violations
+    for rank, (want, got) in enumerate(zip(expected, actual), 1):
+        if got.nodes != want.nodes:
+            violations.append(
+                f"path #{rank}: engine {' -> '.join(got.nodes)}, oracle "
+                f"{' -> '.join(want.nodes)}")
+        elif (got.arrival != want.arrival or got.slack != want.slack
+              or got.required != want.required
+              or got.edges != want.edges):
+            violations.append(
+                f"path #{rank} ({' -> '.join(want.nodes)}): engine "
+                f"(arrival={got.arrival!r}, slack={got.slack!r}) vs oracle "
+                f"(arrival={want.arrival!r}, slack={want.slack!r})")
+    return violations
+
+
+#: The STA check registry; registered into the global ``CHECKS`` below.
+STA_CHECKS: dict = {
+    "sta_slack_monotone": check_sta_slack_monotone,
+    "sta_zero_buffer": check_sta_zero_buffer,
+    "sta_delay_scaling": check_sta_delay_scaling,
+    "sta_top_k_oracle": check_sta_top_k_oracle,
+}
+
+for _check in STA_CHECKS.values():
+    _check.case_kind = "sta"  # run_check skips these for circuit cases
+del _check
+
+CHECKS.update(STA_CHECKS)
+
+
+# ----------------------------------------------------------------------
+# Corpus entries
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StaCorpusEntry:
+    """One distilled STA regression case: a graph plus the check it must
+    pass.  Mirrors :class:`~repro.conformance.corpus.CorpusEntry` —
+    ``config``/``to_case`` let :func:`~repro.conformance.corpus.
+    replay_entry` handle both kinds polymorphically."""
+
+    name: str
+    check: str
+    edges: tuple[tuple[str, str, float], ...]
+    arrivals: dict[str, float]
+    required: dict[str, float]
+    k: int = 8
+    seed: int = 0
+    family: str = "sta"
+    description: str = ""
+
+    def config(self) -> FuzzConfig:
+        return FuzzConfig(checks=(self.check,))
+
+    def to_case(self) -> StaCase:
+        graph = TimingGraph(f"corpus {self.name}")
+        for src, dst, delay in self.edges:
+            graph.add_edge(src, dst, delay)
+        for node in list(self.arrivals) + list(self.required):
+            graph.add_node(node)
+        return StaCase(
+            seed=self.seed, family=self.family or "sta", graph=graph,
+            arrivals=dict(self.arrivals), required=dict(self.required),
+            nodes=tuple(sorted(self.required)), k=self.k)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": STA_CORPUS_SCHEMA,
+            "name": self.name,
+            "check": self.check,
+            "edges": [[src, dst, delay] for src, dst, delay in self.edges],
+            "arrivals": dict(self.arrivals),
+            "required": dict(self.required),
+            "k": self.k,
+            "seed": self.seed,
+            "family": self.family,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StaCorpusEntry":
+        data = dict(payload)
+        schema = data.pop("schema", STA_CORPUS_SCHEMA)
+        if schema != STA_CORPUS_SCHEMA:
+            raise ReproError(f"unsupported STA corpus schema {schema!r} "
+                             f"(expected {STA_CORPUS_SCHEMA!r})")
+        try:
+            data["edges"] = tuple(
+                (str(src), str(dst), float(delay))
+                for src, dst, delay in data.get("edges", ()))
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"malformed STA corpus edges: {exc}") from exc
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ReproError(f"STA corpus entry has unknown fields: "
+                             f"{', '.join(sorted(unknown))}")
+        return cls(**data)

@@ -102,6 +102,16 @@ class BatchTimeoutError(ReproError):
     """
 
 
+class StaError(ReproError):
+    """A static-timing-analysis input or computation is invalid.
+
+    Raised by :mod:`repro.sta` for malformed timing graphs (cycles,
+    duplicate arcs, non-finite delays), design/library mismatches, and
+    unsatisfiable analysis requests.  The service layer maps it to
+    HTTP 400 when it occurs while parsing a ``POST /sta`` body.
+    """
+
+
 class WorkerCrashError(ReproError):
     """A pool worker process died and the one rebuild retry failed too.
 

@@ -16,13 +16,23 @@ from repro.report.build import (
     validate_report,
 )
 from repro.report.render import render_markdown
+from repro.report.sta import (
+    STA_REPORT_SCHEMA,
+    build_sta_report,
+    render_sta_markdown,
+    validate_sta_report,
+)
 
 __all__ = [
     "PHASE_ORDER",
     "REPORT_SCHEMA",
+    "STA_REPORT_SCHEMA",
     "build_report",
+    "build_sta_report",
     "job_record",
     "render_markdown",
+    "render_sta_markdown",
     "response_record",
     "validate_report",
+    "validate_sta_report",
 ]

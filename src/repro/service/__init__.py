@@ -16,9 +16,9 @@ microseconds instead of milliseconds.
   ``repro.run-report/1`` JSON documents, with optional on-disk
   persistence and hit/miss/eviction counters.
 * :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API
-  (``POST /analyze``, ``GET /healthz``, ``GET /metrics``) with a bounded
-  queue, 429 admission control, per-request timeouts, and graceful
-  SIGTERM drain.
+  (``POST /analyze``, ``POST /sta``, ``GET /healthz``, ``GET /metrics``)
+  with a bounded queue, 429 admission control, per-request timeouts, and
+  graceful SIGTERM drain.
 * :mod:`repro.service.client` — a dependency-free HTTP client with
   capped, full-jitter retry for transient failures
   (``python -m repro analyze --server`` uses it).
@@ -28,9 +28,10 @@ documented in ``docs/service.md``.
 """
 
 from repro.service.cache import ResultCache
-from repro.service.canon import canonical_deck, request_key
+from repro.service.canon import canonical_deck, request_key, sta_request_key
 from repro.service.client import (AnalysisClient, AnalyzeOutcome,
-                                  ServiceError, parse_retry_after)
+                                  ServiceError, StaOutcome,
+                                  parse_retry_after)
 from repro.service.server import AnalysisService, ServiceServer, serve
 
 __all__ = [
@@ -40,8 +41,10 @@ __all__ = [
     "ResultCache",
     "ServiceError",
     "ServiceServer",
+    "StaOutcome",
     "canonical_deck",
     "parse_retry_after",
     "request_key",
     "serve",
+    "sta_request_key",
 ]

@@ -29,6 +29,10 @@ from repro.circuit.writer import write_netlist
 #: report schema changes so stale persisted entries can never be served.
 KEY_SCHEMA = "repro.analysis-request/1"
 
+#: Same role for ``POST /sta`` requests (STA report schema + canonical
+#: design form).
+STA_KEY_SCHEMA = "repro.sta-request/1"
+
 
 def canonical_deck(circuit: Circuit, stimuli: dict[str, Stimulus] | None = None) -> str:
     """The circuit's canonical serialisation (title blanked).
@@ -65,6 +69,30 @@ def request_key(
         "error_target": None if order is not None else float(error_target),
         "max_order": int(max_order),
         "threshold": None if threshold is None else float(threshold),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sta_request_key(design, k: int, corners, interconnect: str,
+                    library=None) -> str:
+    """Content address of one STA request (SHA-256 hex digest).
+
+    ``design`` is a :class:`repro.sta.Design` (its canonical dict form —
+    members sorted by name — erases declaration order); ``corners`` keep
+    request order because the report lists them in that order.  A custom
+    ``library`` is part of the address; ``None`` (the built-in default
+    library) hashes as ``null`` so it stays stable across versions of
+    the default cells only if those cells are unchanged — the schema tag
+    is bumped whenever they change.
+    """
+    payload = {
+        "schema": STA_KEY_SCHEMA,
+        "design": design.to_canonical_dict(),
+        "k": int(k),
+        "corners": [corner.to_dict() for corner in corners],
+        "interconnect": str(interconnect),
+        "library": None if library is None else library.to_dict(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

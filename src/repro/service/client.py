@@ -108,6 +108,28 @@ class AnalyzeOutcome:
         return self.document["totals"]["jobs_failed"] == 0
 
 
+@dataclasses.dataclass(frozen=True)
+class StaOutcome:
+    """One ``/sta`` round trip.
+
+    ``document`` is the parsed ``repro.sta-report/1`` report; ``body``
+    the exact bytes received (a cache hit is bit-identical to the cold
+    response); ``cached``/``key``/``server_elapsed_s`` mirror
+    :class:`AnalyzeOutcome`.
+    """
+
+    document: dict
+    body: bytes
+    cached: bool
+    key: str
+    server_elapsed_s: float
+
+    @property
+    def worst_slack_s(self) -> float | None:
+        """The report's cross-corner worst slack (None if unconstrained)."""
+        return self.document["worst_slack_s"]
+
+
 class AnalysisClient:
     """Talk to a running ``python -m repro serve`` daemon.
 
@@ -198,6 +220,53 @@ class AnalysisClient:
         """:meth:`analyze` on a deck file."""
         with open(path, "r", encoding="utf-8") as handle:
             return self.analyze(handle.read(), nodes, **options)
+
+    def sta(
+        self,
+        design,
+        k: int | None = None,
+        corners=None,
+        interconnect: str | None = None,
+        library=None,
+        timeout: float | None = None,
+    ) -> StaOutcome:
+        """Submit one design for static timing analysis.
+
+        ``design`` is a :class:`repro.sta.Design` (serialised via its
+        canonical dict form) or an already-built design dict; ``corners``
+        a list of :class:`repro.sta.Corner` or corner dicts; ``library``
+        a :class:`repro.sta.CellLibrary` or library dict (``None`` uses
+        the server's built-in default).  Transient failures are retried
+        exactly like :meth:`analyze` — ``/sta`` is idempotent
+        server-side.
+        """
+        payload: dict = {
+            "design": (design.to_canonical_dict()
+                       if hasattr(design, "to_canonical_dict") else design),
+        }
+        if k is not None:
+            payload["k"] = k
+        if corners is not None:
+            payload["corners"] = [
+                corner.to_dict() if hasattr(corner, "to_dict") else corner
+                for corner in corners
+            ]
+        if interconnect is not None:
+            payload["interconnect"] = interconnect
+        if library is not None:
+            payload["library"] = (library.to_dict()
+                                  if hasattr(library, "to_dict") else library)
+        if timeout is not None:
+            payload["timeout"] = timeout
+        status, body, headers = self._request(
+            "POST", "/sta", json.dumps(payload).encode("utf-8"), retry=True)
+        return StaOutcome(
+            document=json.loads(body),
+            body=body,
+            cached=headers.get("X-Repro-Cache") == "hit",
+            key=headers.get("X-Repro-Key", ""),
+            server_elapsed_s=float(headers.get("X-Repro-Elapsed-S", "nan")),
+        )
 
     def healthz(self) -> dict:
         """The health document (raises :class:`ServiceError` with status

@@ -18,6 +18,14 @@ cache and queue counters.  Every request is traced
 same validated ``repro.run-report/1`` document ``python -m repro report
 --json`` would have produced.
 
+``POST /sta`` rides the same machinery: the handler parses and
+structurally validates the design (malformed graphs are refused with 400
+before a worker is committed), content-addresses the request with
+:func:`~repro.service.canon.sta_request_key`, and the worker runs
+:func:`repro.sta.run_sta` instead of the batch engine, returning a
+validated ``repro.sta-report/1`` document that is cached bit-for-bit
+like an analysis report.
+
 Admission control is a bounded queue: when it is full the request is
 refused *immediately* with HTTP 429 and a ``Retry-After`` estimated from
 the recent per-job wall time — the backlog can never grow without bound.
@@ -59,9 +67,24 @@ from repro.circuit.parser import parse_netlist
 from repro.engine import AweJob, BatchEngine
 from repro.errors import ReproError, WorkerCrashError
 from repro.instrumentation import SolverStats
-from repro.report import build_report, validate_report
+from repro.report import (
+    build_report,
+    build_sta_report,
+    validate_report,
+    validate_sta_report,
+)
 from repro.service.cache import ResultCache
-from repro.service.canon import request_key
+from repro.service.canon import request_key, sta_request_key
+from repro.sta import (
+    INTERCONNECT_MODES,
+    NOMINAL,
+    CellLibrary,
+    Corner,
+    Design,
+    default_library,
+    run_sta,
+)
+from repro.trace import Tracer
 
 #: Largest accepted request body; a deck bigger than this is almost
 #: certainly a mistake and would stall a worker for minutes.
@@ -71,12 +94,20 @@ _STOP = object()  # worker-shutdown sentinel
 
 
 class _Pending:
-    """One accepted analysis request travelling handler → worker → handler."""
+    """One accepted request travelling handler → worker → handler.
+
+    ``kind`` selects the worker path: ``"analyze"`` runs the AWE batch
+    engine over a parsed ``deck``; ``"sta"`` runs the STA engine over
+    the :class:`~repro.sta.Design` carried in ``params``.
+    """
 
     __slots__ = ("deck", "params", "key", "label", "parse_s", "deadline",
-                 "event", "status", "body", "cache_state", "abandoned")
+                 "event", "status", "body", "cache_state", "abandoned",
+                 "kind")
 
-    def __init__(self, deck, params, key, label, parse_s, deadline):
+    def __init__(self, deck, params, key, label, parse_s, deadline,
+                 kind="analyze"):
+        self.kind = kind
         self.deck = deck
         self.params = params
         self.key = key
@@ -148,6 +179,73 @@ def _parse_request(raw: bytes) -> dict:
         "max_order": number("max_order", default=8, integer=True, minimum=1),
         "threshold": number("threshold"),
         "timeout": number("timeout", minimum=0.0),
+    }
+
+
+def _parse_sta_request(raw: bytes) -> dict:
+    """Decode and validate a ``/sta`` body (cheap, structural only).
+
+    Builds the :class:`~repro.sta.Design`, corners, and optional library
+    and runs the structural validation (connectivity, single drivers,
+    acyclicity) so every malformed graph is refused with 400 *before* a
+    worker is committed; the expensive AWE freeze happens in the worker.
+    Raises :class:`ValueError` or :class:`~repro.errors.ReproError` with
+    a client-facing message on any problem.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = set(payload) - {
+        "design", "k", "corners", "interconnect", "library", "timeout",
+    }
+    if unknown:
+        raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
+    if "design" not in payload:
+        raise ValueError("'design' is required")
+    design = Design.from_dict(payload["design"])
+
+    k = payload.get("k", 5)
+    if isinstance(k, bool) or not isinstance(k, int) or k < 0:
+        raise ValueError("'k' must be a non-negative integer")
+
+    interconnect = payload.get("interconnect", "awe")
+    if interconnect not in INTERCONNECT_MODES:
+        raise ValueError(
+            f"'interconnect' must be one of {', '.join(INTERCONNECT_MODES)}")
+
+    corners_payload = payload.get("corners")
+    if corners_payload is None:
+        corners = (NOMINAL,)
+    else:
+        if not isinstance(corners_payload, list) or not corners_payload:
+            raise ValueError("'corners' must be a non-empty list")
+        corners = tuple(Corner.from_dict(c) for c in corners_payload)
+        names = [c.name for c in corners]
+        if len(set(names)) != len(names):
+            raise ValueError(f"corner names must be unique, got {names}")
+
+    library_payload = payload.get("library")
+    library = (None if library_payload is None
+               else CellLibrary.from_dict(library_payload))
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ValueError("'timeout' must be a number")
+        if timeout < 0:
+            raise ValueError("'timeout' must be >= 0")
+
+    design.validate(library if library is not None else default_library())
+    return {
+        "design": design,
+        "k": k,
+        "corners": corners,
+        "interconnect": interconnect,
+        "library": library,
+        "timeout": timeout,
     }
 
 
@@ -274,8 +372,8 @@ class AnalysisService:
 
     # -- request handling (called from HTTP handler threads) -----------
 
-    def submit(self, raw_body: bytes):
-        """Handle one ``/analyze`` body end to end.
+    def submit(self, raw_body: bytes, kind: str = "analyze"):
+        """Handle one ``/analyze`` or ``/sta`` body end to end.
 
         Returns ``(status, body_bytes, extra_headers)`` — the HTTP layer
         only frames it.  Cache hits are served directly from the calling
@@ -291,18 +389,30 @@ class AnalysisService:
             if injected is not None:
                 return injected
         try:
-            params = _parse_request(raw_body)
-            deck = parse_netlist(params["deck"])
+            if kind == "sta":
+                deck = None
+                params = _parse_sta_request(raw_body)
+                key = sta_request_key(
+                    params["design"], params["k"], params["corners"],
+                    params["interconnect"], library=params["library"],
+                )
+                label = params["design"].name
+            else:
+                params = _parse_request(raw_body)
+                deck = parse_netlist(params["deck"])
+                key = request_key(
+                    deck.circuit, deck.stimuli, params["nodes"],
+                    order=params["order"],
+                    error_target=params["error_target"],
+                    max_order=params["max_order"],
+                    threshold=params["threshold"],
+                )
+                label = deck.title or "deck"
         except (ValueError, ReproError) as exc:
             with self._lock:
                 self._counters["bad_requests"] += 1
             return 400, _error_body(400, str(exc), type(exc).__name__), {}
 
-        key = request_key(
-            deck.circuit, deck.stimuli, params["nodes"],
-            order=params["order"], error_target=params["error_target"],
-            max_order=params["max_order"], threshold=params["threshold"],
-        )
         parse_s = time.monotonic() - started
 
         cached = self.cache.get(key)
@@ -320,8 +430,8 @@ class AnalysisService:
 
         timeout = params["timeout"] if params["timeout"] is not None else self.timeout
         deadline = None if timeout is None else started + timeout
-        pending = _Pending(deck, params, key,
-                           deck.title or "deck", parse_s, deadline)
+        pending = _Pending(deck, params, key, label, parse_s, deadline,
+                           kind=kind)
         with self._idle:
             # Degraded shed-load: while the worker pool is suspected
             # broken, admit exactly one canary analysis at a time and
@@ -461,7 +571,10 @@ class AnalysisService:
             if item is _STOP:
                 return
             try:
-                self._process(engine, item)
+                if item.kind == "sta":
+                    self._process_sta(item)
+                else:
+                    self._process(engine, item)
             finally:
                 with self._idle:
                     self._in_flight -= 1
@@ -538,6 +651,49 @@ class AnalysisService:
                 self._degraded = False
         self._finish(pending, 200, body)
 
+    def _process_sta(self, pending: _Pending) -> None:
+        """Worker path for ``POST /sta``: run the STA engine, build and
+        validate the ``repro.sta-report/1`` document, cache on success.
+
+        STA runs never touch the process pool, so they neither count
+        toward nor clear the worker-crash/degraded bookkeeping.
+        """
+        if pending.abandoned:
+            return  # the client already received 504; don't burn a worker
+        if pending.deadline is not None:
+            if pending.deadline - time.monotonic() <= 0:
+                self._finish(pending, 504, _error_body(
+                    504, "request timed out while queued"))
+                return
+        started = time.monotonic()
+        params = pending.params
+        try:
+            tracer = Tracer(name="sta", design=params["design"].name)
+            run = run_sta(
+                params["design"],
+                library=params["library"],
+                k=params["k"],
+                corners=params["corners"],
+                interconnect=params["interconnect"],
+                tracer=tracer,
+            )
+            document = validate_sta_report(
+                build_sta_report(run, trace=tracer.to_record(),
+                                 parse_s=pending.parse_s))
+        except Exception as exc:  # defensive: a worker must never die
+            with self._lock:
+                self._counters["requests_failed"] += 1
+            self._finish(pending, 500, _error_body(
+                500, f"internal analysis error: {exc}", type(exc).__name__))
+            return
+        body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
+        self.cache.put(pending.key, body)
+        with self._lock:
+            self._counters["requests_ok"] += 1
+            elapsed = time.monotonic() - started
+            self._avg_job_s += 0.3 * (elapsed - self._avg_job_s)
+        self._finish(pending, 200, body)
+
     @staticmethod
     def _finish(pending: _Pending, status: int, body: bytes) -> None:
         pending.status = status
@@ -590,13 +746,14 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(404, _error_body(
                 404, f"unknown path {self.path!r}; endpoints: "
-                     "POST /analyze, GET /healthz, GET /metrics"))
+                     "POST /analyze, POST /sta, GET /healthz, GET /metrics"))
 
     def do_POST(self):
         service = self.server.service
-        if self.path != "/analyze":
+        if self.path not in ("/analyze", "/sta"):
             self._reply(404, _error_body(
-                404, f"unknown path {self.path!r}; POST /analyze"))
+                404, f"unknown path {self.path!r}; POST /analyze or "
+                     "POST /sta"))
             return
         try:
             length = int(self.headers.get("Content-Length", ""))
@@ -608,7 +765,8 @@ class _Handler(BaseHTTPRequestHandler):
                 413, f"request body exceeds {MAX_BODY_BYTES} bytes"))
             return
         raw = self.rfile.read(length)
-        status, body, headers = service.submit(raw)
+        kind = "sta" if self.path == "/sta" else "analyze"
+        status, body, headers = service.submit(raw, kind=kind)
         self._reply(status, body, headers)
 
 

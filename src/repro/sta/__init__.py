@@ -1,0 +1,74 @@
+"""Static timing analysis on top of AWE-evaluated interconnect.
+
+The package turns the paper's one-net delay machinery into whole-design
+traffic: a cell-library-lite (:mod:`repro.sta.library`), a gate-level
+design model (:mod:`repro.sta.design`), a per-corner timing-DAG builder
+whose net edges carry AWE-driven delays (:mod:`repro.sta.build`), the
+graph algorithms — forward/backward propagation, slack, best-first
+top-K critical paths (:mod:`repro.sta.graph`) — and the one-call
+:func:`~repro.sta.engine.run_sta` orchestrator.
+"""
+
+from repro.sta.build import (
+    INTERCONNECT_MODES,
+    NOMINAL,
+    BuiltTiming,
+    Corner,
+    build_timing_graph,
+)
+from repro.sta.design import (
+    RESERVED_NODES,
+    ROOT,
+    Design,
+    Instance,
+    Net,
+    PortIn,
+    PortOut,
+    WireSegment,
+)
+from repro.sta.engine import CornerAnalysis, StaRun, run_sta
+from repro.sta.graph import (
+    CriticalPath,
+    StaResult,
+    TimingEdge,
+    TimingGraph,
+    analyze,
+    report_top_k_critical_paths,
+)
+from repro.sta.library import (
+    Cell,
+    CellLibrary,
+    DelayTable,
+    TimingArc,
+    default_library,
+)
+
+__all__ = [
+    "INTERCONNECT_MODES",
+    "NOMINAL",
+    "RESERVED_NODES",
+    "ROOT",
+    "BuiltTiming",
+    "Cell",
+    "CellLibrary",
+    "Corner",
+    "CornerAnalysis",
+    "CriticalPath",
+    "DelayTable",
+    "Design",
+    "Instance",
+    "Net",
+    "PortIn",
+    "PortOut",
+    "StaResult",
+    "StaRun",
+    "TimingArc",
+    "TimingEdge",
+    "TimingGraph",
+    "WireSegment",
+    "analyze",
+    "build_timing_graph",
+    "default_library",
+    "report_top_k_critical_paths",
+    "run_sta",
+]

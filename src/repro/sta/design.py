@@ -1,0 +1,481 @@
+"""Design model for the STA engine: ports, instances, nets, wires.
+
+A :class:`Design` is the gate-level netlist the timing-graph builder
+consumes.  It is deliberately structural — no delays live here.  Delay
+comes from the cell library (pin-to-pin arcs) and from per-net AWE runs
+over the wire segments.
+
+Naming rules
+------------
+Timing-graph nodes are ``<port>`` for ports and ``<instance>.<pin>`` for
+instance pins, so instance, port, and pin names must not contain ``"."``.
+Wire nodes live inside a per-net circuit next to the builder's driver
+nodes, so the names ``"0"``, ``"in"``, and ``"drv"`` are reserved; the
+special wire node ``"root"`` is where the net's driver attaches.
+
+Wire topology
+-------------
+Each :class:`WireSegment` is an RC L-section: ``resistance`` between
+nodes ``a`` and ``b`` plus ``capacitance`` from ``b`` to ground.  A net
+with no segments is an ideal wire (every sink sits at the driver).  When
+a net has segments, every sink endpoint (``inst.pin`` or output port
+name) must appear as a wire node so the builder knows where it taps in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import StaError
+from repro.sta.graph import TimingGraph
+from repro.sta.library import CellLibrary
+
+#: Wire node where a net's driver attaches.
+ROOT = "root"
+
+#: Wire-node names the per-net circuit builder claims for itself
+#: (plus the netlist layer's ground aliases).
+RESERVED_NODES = frozenset({"0", "in", "drv", "gnd", "GND", "Gnd"})
+
+
+def _name(value, what: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise StaError(f"{what} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _graph_name(value, what: str) -> str:
+    _name(value, what)
+    if "." in value:
+        raise StaError(f"{what} must not contain '.', got {value!r}")
+    if value in RESERVED_NODES:
+        raise StaError(f"{what} must not be one of {sorted(RESERVED_NODES)}, "
+                       f"got {value!r}")
+    return value
+
+
+def _finite(value, what: str, minimum: float | None = None) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise StaError(f"{what} must be a number, got {value!r}") from None
+    if not math.isfinite(value):
+        raise StaError(f"{what} must be finite, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise StaError(f"{what} must be >= {minimum:g}, got {value!r}")
+    return value
+
+
+def _no_unknown(payload: dict, allowed: set, what: str) -> None:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise StaError(
+            f"{what} has unknown fields: {', '.join(sorted(unknown))}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PortIn:
+    """A primary input: arrival time, input slew, and drive strength.
+
+    ``drive_resistance`` of 0 means an ideal (zero-impedance) source.
+    """
+
+    name: str
+    net: str
+    arrival: float = 0.0
+    slew: float = 0.0
+    drive_resistance: float = 0.0
+
+    def __post_init__(self):
+        _graph_name(self.name, "input port name")
+        _name(self.net, f"input port {self.name!r} net")
+        _finite(self.arrival, f"input port {self.name!r} arrival")
+        _finite(self.slew, f"input port {self.name!r} slew", minimum=0.0)
+        _finite(self.drive_resistance,
+                f"input port {self.name!r} drive resistance", minimum=0.0)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "net": self.net,
+                "arrival": float(self.arrival), "slew": float(self.slew),
+                "drive_resistance": float(self.drive_resistance)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PortIn":
+        if not isinstance(payload, dict):
+            raise StaError(f"input port must be an object, got {payload!r}")
+        _no_unknown(payload, {"name", "net", "arrival", "slew",
+                              "drive_resistance"}, "input port")
+        return cls(name=payload.get("name"), net=payload.get("net"),
+                   arrival=payload.get("arrival", 0.0),
+                   slew=payload.get("slew", 0.0),
+                   drive_resistance=payload.get("drive_resistance", 0.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class PortOut:
+    """A primary output: required time and the load it presents."""
+
+    name: str
+    net: str
+    required: float
+    load: float = 5e-15
+
+    def __post_init__(self):
+        _graph_name(self.name, "output port name")
+        _name(self.net, f"output port {self.name!r} net")
+        _finite(self.required, f"output port {self.name!r} required time")
+        _finite(self.load, f"output port {self.name!r} load", minimum=0.0)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "net": self.net,
+                "required": float(self.required), "load": float(self.load)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PortOut":
+        if not isinstance(payload, dict):
+            raise StaError(f"output port must be an object, got {payload!r}")
+        _no_unknown(payload, {"name", "net", "required", "load"},
+                    "output port")
+        if "required" not in payload:
+            raise StaError(
+                f"output port {payload.get('name')!r} needs a required time")
+        return cls(name=payload.get("name"), net=payload.get("net"),
+                   required=payload["required"],
+                   load=payload.get("load", 5e-15))
+
+
+@dataclasses.dataclass(frozen=True)
+class WireSegment:
+    """RC L-section: ``resistance`` a->b, ``capacitance`` at ``b``."""
+
+    a: str
+    b: str
+    resistance: float
+    capacitance: float
+
+    def __post_init__(self):
+        for node, which in ((self.a, "a"), (self.b, "b")):
+            _name(node, f"wire segment node {which}")
+            if node in RESERVED_NODES:
+                raise StaError(
+                    f"wire node {node!r} is reserved; rename it")
+        if self.a == self.b:
+            raise StaError(f"wire segment {self.a!r} -> {self.b!r} is a loop")
+        if _finite(self.resistance, "wire segment resistance") <= 0.0:
+            raise StaError(
+                f"wire segment resistance must be > 0, got {self.resistance!r}")
+        _finite(self.capacitance, "wire segment capacitance", minimum=0.0)
+
+    def to_dict(self) -> dict:
+        return {"a": self.a, "b": self.b,
+                "resistance": float(self.resistance),
+                "capacitance": float(self.capacitance)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WireSegment":
+        if not isinstance(payload, dict):
+            raise StaError(f"wire segment must be an object, got {payload!r}")
+        _no_unknown(payload, {"a", "b", "resistance", "capacitance"},
+                    "wire segment")
+        for field in ("resistance", "capacitance"):
+            if field not in payload:
+                raise StaError(f"wire segment needs a {field!r} value")
+        return cls(a=payload.get("a"), b=payload.get("b"),
+                   resistance=payload["resistance"],
+                   capacitance=payload["capacitance"])
+
+
+@dataclasses.dataclass(frozen=True)
+class Net:
+    """A named net with optional RC wire topology."""
+
+    name: str
+    segments: tuple[WireSegment, ...] = ()
+
+    def __post_init__(self):
+        _name(self.name, "net name")
+        object.__setattr__(self, "segments", tuple(self.segments))
+
+    @property
+    def wire_nodes(self) -> set:
+        nodes = set()
+        for seg in self.segments:
+            nodes.add(seg.a)
+            nodes.add(seg.b)
+        return nodes
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "segments": [seg.to_dict() for seg in self.segments]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Net":
+        if not isinstance(payload, dict):
+            raise StaError(f"net must be an object, got {payload!r}")
+        _no_unknown(payload, {"name", "segments"}, "net")
+        segments = payload.get("segments", [])
+        if not isinstance(segments, list):
+            raise StaError(
+                f"net {payload.get('name')!r} 'segments' must be a list")
+        return cls(name=payload.get("name"),
+                   segments=tuple(WireSegment.from_dict(seg)
+                                  for seg in segments))
+
+
+@dataclasses.dataclass(frozen=True)
+class Instance:
+    """One placed cell: every pin maps to a net name."""
+
+    name: str
+    cell: str
+    connections: dict[str, str]
+
+    def __post_init__(self):
+        _graph_name(self.name, "instance name")
+        _name(self.cell, f"instance {self.name!r} cell")
+        if not isinstance(self.connections, dict) or not self.connections:
+            raise StaError(
+                f"instance {self.name!r} needs a pin -> net mapping")
+        for pin, net in self.connections.items():
+            _graph_name(pin, f"instance {self.name!r} pin")
+            _name(net, f"instance {self.name!r} pin {pin!r} net")
+
+    def pin_node(self, pin: str) -> str:
+        return f"{self.name}.{pin}"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "cell": self.cell,
+                "connections": dict(sorted(self.connections.items()))}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Instance":
+        if not isinstance(payload, dict):
+            raise StaError(f"instance must be an object, got {payload!r}")
+        _no_unknown(payload, {"name", "cell", "connections"}, "instance")
+        connections = payload.get("connections")
+        if not isinstance(connections, dict):
+            raise StaError(
+                f"instance {payload.get('name')!r} 'connections' must be "
+                "an object")
+        return cls(name=payload.get("name"), cell=payload.get("cell"),
+                   connections=dict(connections))
+
+
+@dataclasses.dataclass(frozen=True)
+class Design:
+    """A gate-level netlist: ports, instances, and wired nets."""
+
+    name: str
+    inputs: tuple[PortIn, ...]
+    outputs: tuple[PortOut, ...]
+    instances: tuple[Instance, ...] = ()
+    nets: tuple[Net, ...] = ()
+
+    def __post_init__(self):
+        _name(self.name, "design name")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        object.__setattr__(self, "instances", tuple(self.instances))
+        object.__setattr__(self, "nets", tuple(self.nets))
+        if not self.inputs:
+            raise StaError(f"design {self.name!r} needs at least one input")
+        if not self.outputs:
+            raise StaError(f"design {self.name!r} needs at least one output")
+        names = [p.name for p in self.inputs] + [p.name for p in self.outputs]
+        names += [inst.name for inst in self.instances]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise StaError(
+                f"design {self.name!r} reuses names: "
+                f"{', '.join(sorted(dupes))}")
+        net_names = [net.name for net in self.nets]
+        net_dupes = {n for n in net_names if net_names.count(n) > 1}
+        if net_dupes:
+            raise StaError(
+                f"design {self.name!r} declares duplicate nets: "
+                f"{', '.join(sorted(net_dupes))}")
+
+    # -- lookups -------------------------------------------------------
+
+    def net(self, name: str) -> Net:
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise StaError(f"design {self.name!r} has no net {name!r}")
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self, library: CellLibrary) -> None:
+        """Full semantic check against ``library``.
+
+        Verifies that every referenced cell exists, every cell pin is
+        connected, every net is driven exactly once and sinks at least
+        once, wire topologies are connected and tap every sink, and the
+        implied timing graph is acyclic.  Raises :class:`StaError` with
+        a description of the first problem found.
+        """
+        declared = {net.name for net in self.nets}
+        drivers: dict[str, str] = {}
+        sinks: dict[str, list] = {name: [] for name in declared}
+
+        def drive(net_name: str, who: str) -> None:
+            if net_name not in declared:
+                raise StaError(
+                    f"{who} drives undeclared net {net_name!r}")
+            if net_name in drivers:
+                raise StaError(
+                    f"net {net_name!r} is driven by both "
+                    f"{drivers[net_name]} and {who}")
+            drivers[net_name] = who
+
+        def sink(net_name: str, endpoint: str, who: str) -> None:
+            if net_name not in declared:
+                raise StaError(f"{who} taps undeclared net {net_name!r}")
+            sinks[net_name].append(endpoint)
+
+        for port in self.inputs:
+            drive(port.net, f"input port {port.name!r}")
+        for port in self.outputs:
+            sink(port.net, port.name, f"output port {port.name!r}")
+        for inst in self.instances:
+            cell = library[inst.cell]
+            pins = set(cell.input_pins) | set(cell.output_pins)
+            missing = pins - set(inst.connections)
+            if missing:
+                raise StaError(
+                    f"instance {inst.name!r} ({inst.cell}) leaves pins "
+                    f"unconnected: {', '.join(sorted(missing))}")
+            extra = set(inst.connections) - pins
+            if extra:
+                raise StaError(
+                    f"instance {inst.name!r} connects pins the cell "
+                    f"{inst.cell!r} does not have: "
+                    f"{', '.join(sorted(extra))}")
+            for pin in cell.input_pins:
+                sink(inst.connections[pin], inst.pin_node(pin),
+                     f"instance {inst.name!r} pin {pin!r}")
+            for pin in cell.output_pins:
+                drive(inst.connections[pin],
+                      f"instance {inst.name!r} pin {pin!r}")
+
+        for net in self.nets:
+            if net.name not in drivers:
+                raise StaError(f"net {net.name!r} has no driver")
+            if not sinks[net.name]:
+                raise StaError(f"net {net.name!r} has no sinks")
+            if net.segments:
+                self._check_wire(net, sinks[net.name])
+
+        # Acyclicity: the zero-delay structural graph must sort.
+        graph = self.structural_graph(library)
+        graph.topological_order()
+
+    @staticmethod
+    def _check_wire(net: Net, endpoints) -> None:
+        adjacency: dict[str, set] = {}
+        for seg in net.segments:
+            adjacency.setdefault(seg.a, set()).add(seg.b)
+            adjacency.setdefault(seg.b, set()).add(seg.a)
+        missing = [ep for ep in endpoints if ep not in adjacency]
+        if missing:
+            raise StaError(
+                f"net {net.name!r} has wire segments but does not tap "
+                f"sink(s): {', '.join(sorted(missing))}")
+        if ROOT not in adjacency:
+            raise StaError(
+                f"net {net.name!r} wire does not reach the driver node "
+                f"{ROOT!r}")
+        seen = {ROOT}
+        frontier = [ROOT]
+        while frontier:
+            node = frontier.pop()
+            for other in adjacency[node]:
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        stranded = sorted(set(adjacency) - seen)
+        if stranded:
+            raise StaError(
+                f"net {net.name!r} wire node(s) unreachable from "
+                f"{ROOT!r}: {', '.join(stranded)}")
+
+    def structural_graph(self, library: CellLibrary) -> TimingGraph:
+        """The zero-delay timing DAG (topology only, no timing)."""
+        graph = TimingGraph(name=f"{self.name} (structural)")
+        for port in self.inputs:
+            graph.add_node(port.name)
+        for port in self.outputs:
+            graph.add_node(port.name)
+        for inst in self.instances:
+            cell = library[inst.cell]
+            for pin in cell.input_pins:
+                graph.add_node(inst.pin_node(pin))
+            for pin in cell.output_pins:
+                graph.add_node(inst.pin_node(pin))
+
+        driver_node: dict[str, str] = {}
+        for port in self.inputs:
+            driver_node[port.net] = port.name
+        for inst in self.instances:
+            cell = library[inst.cell]
+            for pin in cell.output_pins:
+                driver_node[inst.connections[pin]] = inst.pin_node(pin)
+
+        def net_edge(net_name: str, dst: str) -> None:
+            src = driver_node.get(net_name)
+            if src is None:
+                raise StaError(f"net {net_name!r} has no driver")
+            graph.add_edge(src, dst, 0.0, kind="net", label=net_name)
+
+        for port in self.outputs:
+            net_edge(port.net, port.name)
+        for inst in self.instances:
+            cell = library[inst.cell]
+            for arc in cell.arcs:
+                graph.add_edge(inst.pin_node(arc.input),
+                               inst.pin_node(arc.output), 0.0,
+                               kind="cell", label=inst.cell)
+        for inst in self.instances:
+            cell = library[inst.cell]
+            for pin in cell.input_pins:
+                net_edge(inst.connections[pin], inst.pin_node(pin))
+        return graph
+
+    # -- serialisation -------------------------------------------------
+
+    def to_canonical_dict(self) -> dict:
+        """Deterministic dict form: members sorted by name."""
+        return {
+            "name": self.name,
+            "inputs": [p.to_dict()
+                       for p in sorted(self.inputs, key=lambda p: p.name)],
+            "outputs": [p.to_dict()
+                        for p in sorted(self.outputs, key=lambda p: p.name)],
+            "instances": [i.to_dict()
+                          for i in sorted(self.instances,
+                                          key=lambda i: i.name)],
+            "nets": [n.to_dict()
+                     for n in sorted(self.nets, key=lambda n: n.name)],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Design":
+        if not isinstance(payload, dict):
+            raise StaError(f"design must be an object, got {payload!r}")
+        _no_unknown(payload, {"name", "inputs", "outputs", "instances",
+                              "nets"}, "design")
+        for field in ("inputs", "outputs"):
+            if not isinstance(payload.get(field), list):
+                raise StaError(f"design {field!r} must be a list")
+        for field in ("instances", "nets"):
+            if not isinstance(payload.get(field, []), list):
+                raise StaError(f"design {field!r} must be a list")
+        return cls(
+            name=payload.get("name"),
+            inputs=tuple(PortIn.from_dict(p) for p in payload["inputs"]),
+            outputs=tuple(PortOut.from_dict(p) for p in payload["outputs"]),
+            instances=tuple(Instance.from_dict(i)
+                            for i in payload.get("instances", [])),
+            nets=tuple(Net.from_dict(n) for n in payload.get("nets", [])),
+        )

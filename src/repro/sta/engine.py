@@ -1,0 +1,133 @@
+"""Top-level STA orchestration: design -> per-corner results + paths.
+
+:func:`run_sta` is the one-call entry the CLI, the service, and the
+examples share: validate, freeze one timing graph per corner, propagate
+arrivals/requireds, and peel the top-K critical paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import StaError
+from repro.sta.build import (
+    INTERCONNECT_MODES,
+    NOMINAL,
+    BuiltTiming,
+    Corner,
+    build_timing_graph,
+)
+from repro.sta.design import Design
+from repro.sta.graph import (
+    CriticalPath,
+    StaResult,
+    analyze,
+    report_top_k_critical_paths,
+)
+from repro.sta.library import CellLibrary, default_library
+from repro.trace import NULL_TRACER
+
+
+@dataclasses.dataclass(frozen=True)
+class CornerAnalysis:
+    """Everything the analysis produced at one corner."""
+
+    corner: Corner
+    built: BuiltTiming
+    result: StaResult
+    paths: tuple[CriticalPath, ...]
+
+    @property
+    def worst_slack(self) -> float | None:
+        return self.result.worst_slack
+
+
+@dataclasses.dataclass(frozen=True)
+class StaRun:
+    """One full STA run: the design plus every corner's analysis."""
+
+    design: Design
+    interconnect: str
+    k: int
+    corners: tuple[CornerAnalysis, ...]
+
+    @property
+    def worst_slack(self) -> float | None:
+        """The most negative worst-slack across corners (None if no
+        corner constrained any endpoint)."""
+        slacks = [c.worst_slack for c in self.corners
+                  if c.worst_slack is not None]
+        return min(slacks) if slacks else None
+
+    def corner(self, name: str) -> CornerAnalysis:
+        for analysis in self.corners:
+            if analysis.corner.name == name:
+                return analysis
+        raise StaError(
+            f"run has no corner {name!r}; corners: "
+            f"{', '.join(c.corner.name for c in self.corners)}")
+
+
+def run_sta(
+    design: Design,
+    library: CellLibrary | None = None,
+    k: int = 5,
+    corners=(NOMINAL,),
+    interconnect: str = "awe",
+    tracer=None,
+) -> StaRun:
+    """Analyze ``design`` at every corner and peel ``k`` critical paths.
+
+    Parameters
+    ----------
+    design:
+        The gate-level netlist (validated against ``library``).
+    library:
+        Cell library; ``None`` uses the built-in
+        :func:`~repro.sta.library.default_library`.
+    k:
+        How many critical paths to report per corner.
+    corners:
+        Iterable of :class:`~repro.sta.build.Corner`; each gets its own
+        frozen graph and path report.
+    interconnect:
+        ``"awe"`` (waveform-accurate) or ``"elmore"`` (first moment).
+    tracer:
+        Optional :class:`repro.trace.Tracer`; spans/events cover the
+        per-corner freeze and analysis phases.
+    """
+    if not isinstance(design, Design):
+        raise StaError(f"design must be a Design, got {design!r}")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+        raise StaError(f"k must be a non-negative integer, got {k!r}")
+    if interconnect not in INTERCONNECT_MODES:
+        raise StaError(
+            f"unknown interconnect mode {interconnect!r}; "
+            f"expected one of {', '.join(INTERCONNECT_MODES)}")
+    corners = tuple(corners)
+    if not corners:
+        raise StaError("run_sta needs at least one corner")
+    names = [c.name for c in corners if isinstance(c, Corner)]
+    if len(names) != len(corners):
+        bad = next(c for c in corners if not isinstance(c, Corner))
+        raise StaError(f"corners must be Corner values, got {bad!r}")
+    if len(set(names)) != len(names):
+        raise StaError(f"corner names must be unique, got {names}")
+    library = default_library() if library is None else library
+    tracer = NULL_TRACER if tracer is None else tracer
+
+    analyses = []
+    for corner in corners:
+        built = build_timing_graph(design, library, corner=corner,
+                                   interconnect=interconnect, tracer=tracer)
+        with tracer.span("sta_analyze", corner=corner.name):
+            result = analyze(built.graph, built.arrivals, built.required)
+            paths = tuple(report_top_k_critical_paths(
+                built.graph, built.arrivals, built.required, k))
+        tracer.event(
+            "sta_corner_done", corner=corner.name,
+            worst_slack_s=result.worst_slack, paths=len(paths))
+        analyses.append(CornerAnalysis(corner=corner, built=built,
+                                       result=result, paths=paths))
+    return StaRun(design=design, interconnect=interconnect, k=k,
+                  corners=tuple(analyses))

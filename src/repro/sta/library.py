@@ -1,0 +1,328 @@
+"""Cell-library-lite: pin-to-pin arcs with slew/load delay tables.
+
+A deliberately small slice of a Liberty-style library — exactly what the
+timing-graph builder needs and nothing more: per-input-pin capacitance,
+per-output-pin drive resistance (the paper's switched-resistor gate
+model, Fig. 1), and per-arc bilinear ``(input slew × output load)``
+lookup tables for delay and output slew.  Everything round-trips through
+plain dicts so libraries can ride inside ``POST /sta`` request bodies.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+
+from repro.errors import StaError
+
+
+def _finite(value, what: str, minimum: float | None = None) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise StaError(f"{what} must be a number, got {value!r}") from None
+    if not math.isfinite(value):
+        raise StaError(f"{what} must be finite, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise StaError(f"{what} must be >= {minimum:g}, got {value!r}")
+    return value
+
+
+def _axis(values, what: str) -> tuple[float, ...]:
+    axis = tuple(_finite(v, f"{what} value", minimum=0.0) for v in values)
+    if not axis:
+        raise StaError(f"{what} must not be empty")
+    if any(b <= a for a, b in zip(axis, axis[1:])):
+        raise StaError(f"{what} must be strictly increasing, got {axis}")
+    return axis
+
+
+class DelayTable:
+    """Bilinear ``(slew, load)`` interpolation with edge clamping.
+
+    Lookups outside the characterised grid clamp to the nearest axis
+    value — the standard table semantics, which also keeps every lookup
+    finite no matter what load the net builder computes.
+    """
+
+    __slots__ = ("slews", "loads", "values")
+
+    def __init__(self, slews, loads, values):
+        self.slews = _axis(slews, "slew axis")
+        self.loads = _axis(loads, "load axis")
+        rows = tuple(tuple(_finite(v, "table value", minimum=0.0) for v in row)
+                     for row in values)
+        if len(rows) != len(self.slews) or any(
+                len(row) != len(self.loads) for row in rows):
+            raise StaError(
+                f"table shape must be {len(self.slews)}x{len(self.loads)} "
+                "(slews x loads)")
+        self.values = rows
+
+    @classmethod
+    def from_linear(cls, intercept: float, slew_factor: float,
+                    load_factor: float, slews, loads) -> "DelayTable":
+        """Tabulate the affine model ``intercept + slew_factor*slew +
+        load_factor*load`` on the given axes (bilinear interpolation
+        reproduces it exactly inside the grid)."""
+        slews = _axis(slews, "slew axis")
+        loads = _axis(loads, "load axis")
+        values = [[intercept + slew_factor * s + load_factor * c
+                   for c in loads] for s in slews]
+        return cls(slews, loads, values)
+
+    def _bracket(self, axis: tuple[float, ...], x: float):
+        if x <= axis[0]:
+            return 0, 0, 0.0
+        if x >= axis[-1]:
+            return len(axis) - 1, len(axis) - 1, 0.0
+        hi = bisect.bisect_right(axis, x)
+        lo = hi - 1
+        t = (x - axis[lo]) / (axis[hi] - axis[lo])
+        return lo, hi, t
+
+    def lookup(self, slew: float, load: float) -> float:
+        slew = _finite(slew, "slew", minimum=0.0)
+        load = _finite(load, "load", minimum=0.0)
+        i0, i1, ts = self._bracket(self.slews, slew)
+        j0, j1, tl = self._bracket(self.loads, load)
+        v = self.values
+        top = v[i0][j0] + tl * (v[i0][j1] - v[i0][j0])
+        bottom = v[i1][j0] + tl * (v[i1][j1] - v[i1][j0])
+        return top + ts * (bottom - top)
+
+    def scaled(self, factor: float) -> "DelayTable":
+        """Every table value multiplied by ``factor`` (corner derating)."""
+        factor = _finite(factor, "scale factor", minimum=0.0)
+        return DelayTable(self.slews, self.loads,
+                          [[v * factor for v in row] for row in self.values])
+
+    def to_dict(self) -> dict:
+        return {"slews": list(self.slews), "loads": list(self.loads),
+                "values": [list(row) for row in self.values]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DelayTable":
+        if not isinstance(payload, dict):
+            raise StaError(f"delay table must be an object, got {payload!r}")
+        unknown = set(payload) - {"slews", "loads", "values"}
+        if unknown:
+            raise StaError(
+                f"delay table has unknown fields: {', '.join(sorted(unknown))}")
+        return cls(payload.get("slews", ()), payload.get("loads", ()),
+                   payload.get("values", ()))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, DelayTable)
+                and self.slews == other.slews
+                and self.loads == other.loads
+                and self.values == other.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DelayTable({len(self.slews)}x{len(self.loads)}, "
+                f"slews {self.slews[0]:g}..{self.slews[-1]:g} s, "
+                f"loads {self.loads[0]:g}..{self.loads[-1]:g} F)")
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingArc:
+    """One pin-to-pin arc: input pin -> output pin with its two tables."""
+
+    input: str
+    output: str
+    delay: DelayTable
+    output_slew: DelayTable
+
+    def to_dict(self) -> dict:
+        return {"input": self.input, "output": self.output,
+                "delay": self.delay.to_dict(),
+                "output_slew": self.output_slew.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TimingArc":
+        if not isinstance(payload, dict):
+            raise StaError(f"timing arc must be an object, got {payload!r}")
+        unknown = set(payload) - {"input", "output", "delay", "output_slew"}
+        if unknown:
+            raise StaError(
+                f"timing arc has unknown fields: {', '.join(sorted(unknown))}")
+        for field in ("input", "output"):
+            if not isinstance(payload.get(field), str) or not payload[field]:
+                raise StaError(f"timing arc {field!r} must be a pin name")
+        return cls(payload["input"], payload["output"],
+                   DelayTable.from_dict(payload.get("delay")),
+                   DelayTable.from_dict(payload.get("output_slew")))
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One library cell: input caps, output drive resistances, arcs."""
+
+    name: str
+    input_capacitance: dict[str, float]
+    drive_resistance: dict[str, float]
+    arcs: tuple[TimingArc, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise StaError("cell needs a non-empty name")
+        if not self.input_capacitance:
+            raise StaError(f"cell {self.name!r} needs at least one input pin")
+        if not self.drive_resistance:
+            raise StaError(f"cell {self.name!r} needs at least one output pin")
+        for pin, cap in self.input_capacitance.items():
+            _finite(cap, f"cell {self.name!r} input cap of pin {pin!r}",
+                    minimum=0.0)
+        for pin, res in self.drive_resistance.items():
+            if _finite(res, f"cell {self.name!r} drive resistance of pin "
+                       f"{pin!r}") <= 0.0:
+                raise StaError(
+                    f"cell {self.name!r} drive resistance of pin {pin!r} "
+                    "must be > 0")
+        if not self.arcs:
+            raise StaError(f"cell {self.name!r} needs at least one timing arc")
+        seen = set()
+        for arc in self.arcs:
+            if arc.input not in self.input_capacitance:
+                raise StaError(
+                    f"cell {self.name!r} arc references unknown input pin "
+                    f"{arc.input!r}")
+            if arc.output not in self.drive_resistance:
+                raise StaError(
+                    f"cell {self.name!r} arc references unknown output pin "
+                    f"{arc.output!r}")
+            if (arc.input, arc.output) in seen:
+                raise StaError(
+                    f"cell {self.name!r} has a duplicate arc "
+                    f"{arc.input!r} -> {arc.output!r}")
+            seen.add((arc.input, arc.output))
+
+    @property
+    def input_pins(self) -> tuple[str, ...]:
+        return tuple(self.input_capacitance)
+
+    @property
+    def output_pins(self) -> tuple[str, ...]:
+        return tuple(self.drive_resistance)
+
+    def arcs_to(self, output: str) -> tuple[TimingArc, ...]:
+        return tuple(arc for arc in self.arcs if arc.output == output)
+
+    def to_dict(self) -> dict:
+        return {
+            "input_capacitance": dict(self.input_capacitance),
+            "drive_resistance": dict(self.drive_resistance),
+            "arcs": [arc.to_dict() for arc in self.arcs],
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Cell":
+        if not isinstance(payload, dict):
+            raise StaError(f"cell {name!r} must be an object, got {payload!r}")
+        unknown = set(payload) - {"input_capacitance", "drive_resistance",
+                                  "arcs"}
+        if unknown:
+            raise StaError(
+                f"cell {name!r} has unknown fields: {', '.join(sorted(unknown))}")
+        arcs = payload.get("arcs")
+        if not isinstance(arcs, list):
+            raise StaError(f"cell {name!r} 'arcs' must be a list")
+        return cls(
+            name=name,
+            input_capacitance=dict(payload.get("input_capacitance") or {}),
+            drive_resistance=dict(payload.get("drive_resistance") or {}),
+            arcs=tuple(TimingArc.from_dict(arc) for arc in arcs),
+        )
+
+
+class CellLibrary:
+    """A named collection of :class:`Cell`\\ s."""
+
+    def __init__(self, name: str, cells):
+        if not isinstance(name, str) or not name:
+            raise StaError("library needs a non-empty name")
+        self.name = name
+        self._cells: dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise StaError(f"duplicate cell {cell.name!r} in library")
+            self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise StaError(
+                f"unknown cell {name!r}; library {self.name!r} has: "
+                f"{', '.join(sorted(self._cells))}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "cells": {name: cell.to_dict()
+                          for name, cell in sorted(self._cells.items())}}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellLibrary":
+        if not isinstance(payload, dict):
+            raise StaError(f"library must be an object, got {payload!r}")
+        unknown = set(payload) - {"name", "cells"}
+        if unknown:
+            raise StaError(
+                f"library has unknown fields: {', '.join(sorted(unknown))}")
+        cells = payload.get("cells")
+        if not isinstance(cells, dict) or not cells:
+            raise StaError("library 'cells' must be a non-empty object")
+        return cls(payload.get("name") or "library",
+                   [Cell.from_dict(name, cell)
+                    for name, cell in cells.items()])
+
+
+# ----------------------------------------------------------------------
+# The built-in demo library
+# ----------------------------------------------------------------------
+
+#: Characterisation axes shared by every built-in cell.
+_SLEW_AXIS = (5e-12, 2e-11, 8e-11, 3.2e-10)
+_LOAD_AXIS = (1e-15, 4e-15, 1.6e-14, 6.4e-14)
+
+
+def _combinational(name: str, inputs: dict[str, float], output: str,
+                   resistance: float, intrinsic: float,
+                   slew_factor: float = 0.15) -> Cell:
+    """An affine-model cell: delay ``intrinsic + 0.69*R*load +
+    slew_factor*slew`` and output slew ``2.2*R*load + 0.25*slew`` — the
+    single-pole RC response the paper's switched-resistor gate implies."""
+    delay = DelayTable.from_linear(intrinsic, slew_factor, 0.69 * resistance,
+                                   _SLEW_AXIS, _LOAD_AXIS)
+    slew = DelayTable.from_linear(2e-12, 0.25, 2.2 * resistance,
+                                  _SLEW_AXIS, _LOAD_AXIS)
+    arcs = tuple(TimingArc(pin, output, delay, slew) for pin in inputs)
+    return Cell(name=name, input_capacitance=dict(inputs),
+                drive_resistance={output: resistance}, arcs=arcs)
+
+
+def default_library() -> CellLibrary:
+    """The built-in five-cell demo library (identical on every call)."""
+    return CellLibrary("repro-lite", [
+        _combinational("INV_X1", {"A": 3e-15}, "Y", 4000.0, 12e-12),
+        _combinational("INV_X4", {"A": 9e-15}, "Y", 1100.0, 10e-12),
+        _combinational("BUF_X2", {"A": 4e-15}, "Y", 2200.0, 25e-12),
+        _combinational("NAND2_X1", {"A": 3.5e-15, "B": 3.5e-15}, "Y",
+                       4500.0, 16e-12),
+        _combinational("NOR2_X1", {"A": 4e-15, "B": 4e-15}, "Y",
+                       5200.0, 19e-12),
+    ])

@@ -98,6 +98,71 @@ def moments_of(poles, residues, count):
     return np.array(sequence)
 
 
+#: One dyadic tick (2**-30 s).  Delays and constraints drawn as integer
+#: multiples of this make every left-to-right float sum exact, so the
+#: STA oracle comparisons below can demand bit equality.
+STA_TICK = 2.0 ** -30
+
+
+def brute_force_paths(graph, arrivals, required):
+    """Exhaustive launch-to-endpoint path enumeration — the STA oracle.
+
+    Deliberately independent of the engine: an explicit work-list DFS,
+    no heap, no completion bounds.  Arrivals accumulate left to right
+    (the documented path convention), so a correct engine matches every
+    returned ``(slack, nodes, arrival, required, edges)`` tuple bit for
+    bit.  Returns the *complete* path list sorted by ``(slack, nodes)``.
+    """
+    paths = []
+    for start in sorted(arrivals):
+        stack = [((start,), (), arrivals[start])]
+        while stack:
+            nodes, edges, arrived = stack.pop()
+            node = nodes[-1]
+            if node in required:
+                paths.append((required[node] - arrived, nodes, arrived,
+                              required[node], edges))
+            for edge in graph.out_edges(node):
+                stack.append((nodes + (edge.dst,), edges + (edge,),
+                              arrived + edge.delay))
+    paths.sort(key=lambda p: (p[0], p[1]))
+    return paths
+
+
+@st.composite
+def timing_dags(draw):
+    """A random timing DAG with dyadic delays plus its constraints.
+
+    Returns ``(graph, arrivals, required, k)``.  Node indices only ever
+    link low → high, so the graph is a DAG by construction; every
+    in-degree-0 node gets a launch arrival and every out-degree-0 node a
+    required time (plus occasionally an internal endpoint), so every
+    path the enumerator finds is constrained.
+    """
+    from repro.sta import TimingGraph
+
+    n = draw(st.integers(min_value=2, max_value=8))
+    names = [f"v{i}" for i in range(n)]
+    graph = TimingGraph("hypothesis dag")
+    for name in names:
+        graph.add_node(name)
+    for j in range(1, n):
+        preds = draw(st.lists(st.integers(min_value=0, max_value=j - 1),
+                              unique=True, max_size=min(j, 3)))
+        for i in preds:
+            graph.add_edge(names[i], names[j],
+                           draw(st.integers(1, 4096)) * STA_TICK)
+    sources = [v for v in names if not graph.in_edges(v)]
+    sinks = [v for v in names if not graph.out_edges(v)]
+    arrivals = {v: draw(st.integers(0, 1024)) * STA_TICK for v in sources}
+    required = {v: draw(st.integers(4096, 65536)) * STA_TICK for v in sinks}
+    for idx in draw(st.lists(st.integers(0, n - 1), unique=True, max_size=2)):
+        required.setdefault(names[idx],
+                            draw(st.integers(4096, 65536)) * STA_TICK)
+    k = draw(st.integers(min_value=0, max_value=12))
+    return graph, arrivals, required, k
+
+
 @st.composite
 def pwl_stimuli(draw):
     n = draw(st.integers(min_value=1, max_value=6))

@@ -25,6 +25,8 @@ from repro.errors import CircuitError
 
 
 def canonical_text(case):
+    if getattr(case, "kind", "circuit") == "sta":
+        return json.dumps(case.to_payload(), sort_keys=True)
     return write_netlist(case.circuit, case.stimuli, title="t", canonical=True)
 
 
@@ -53,9 +55,14 @@ class TestGeneration:
     def test_outputs_exist_and_source_is_driven(self):
         for seed in range(30):
             case = generate_case(seed)
-            for node in case.nodes:
-                assert case.circuit.has_node(node), (seed, node)
-            assert case.source in case.stimuli
+            if case.kind == "sta":
+                for node in case.nodes:
+                    assert case.graph.has_node(node), (seed, node)
+                assert case.required, seed
+            else:
+                for node in case.nodes:
+                    assert case.circuit.has_node(node), (seed, node)
+                assert case.source in case.stimuli
 
 
 class TestChecksOnHealthyCode:

@@ -13,7 +13,9 @@ import pytest
 
 from repro.conformance import (
     CORPUS_SCHEMA,
+    STA_CORPUS_SCHEMA,
     CorpusEntry,
+    StaCorpusEntry,
     load_corpus,
     replay_entry,
     write_entry,
@@ -35,11 +37,16 @@ def test_corpus_entry_replays_clean(entry):
 
 
 class TestCorpusFormat:
-    def test_files_carry_the_schema_marker(self):
+    def test_files_carry_a_known_schema_marker(self):
         for path in sorted(CORPUS_DIR.glob("*.json")):
             payload = json.loads(path.read_text())
-            assert payload["schema"] == CORPUS_SCHEMA, path.name
+            assert payload["schema"] in (CORPUS_SCHEMA, STA_CORPUS_SCHEMA), path.name
             assert payload["description"], f"{path.name} needs a description"
+
+    def test_both_entry_kinds_are_present(self):
+        kinds = {type(entry) for entry in ENTRIES}
+        assert CorpusEntry in kinds
+        assert StaCorpusEntry in kinds
 
     def test_write_then_load_is_lossless(self, tmp_path):
         entry = ENTRIES[0]
@@ -74,3 +81,33 @@ class TestCorpusFormat:
         for node in case.nodes:
             assert case.circuit.has_node(node)
         assert isinstance(entry, CorpusEntry)
+
+    def test_sta_entry_rebuilds_a_runnable_case(self):
+        entry = next(e for e in ENTRIES if isinstance(e, StaCorpusEntry))
+        case = entry.to_case()
+        assert case.kind == "sta"
+        assert case.nodes == tuple(sorted(entry.required))
+        for node in case.nodes:
+            assert case.graph.has_node(node)
+        assert case.graph.edge_count == len(entry.edges)
+
+    def test_sta_roundtrip_and_unknown_fields(self, tmp_path):
+        entry = next(e for e in ENTRIES if isinstance(e, StaCorpusEntry))
+        path = write_entry(entry, tmp_path)
+        assert load_corpus(tmp_path) == [entry]
+        original = path.read_bytes()
+        write_entry(entry, tmp_path)
+        assert path.read_bytes() == original
+        payload = entry.to_dict()
+        payload["surprise"] = 1
+        (tmp_path / "bad.json").write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="surprise"):
+            load_corpus(tmp_path)
+
+    def test_sta_unknown_schema_rejected(self, tmp_path):
+        entry = next(e for e in ENTRIES if isinstance(e, StaCorpusEntry))
+        payload = entry.to_dict()
+        payload["schema"] = "repro.sta-corpus/99"
+        (tmp_path / "bad.json").write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="schema"):
+            load_corpus(tmp_path)

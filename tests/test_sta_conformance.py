@@ -1,0 +1,144 @@
+"""The STA metamorphic fuzz family: generation, dispatch, detection.
+
+Mirrors ``test_conformance.py`` for the graph-case kind: cases are pure
+functions of the seed, healthy code is quiet across every STA check,
+kind dispatch keeps circuit and STA checks out of each other's way, and
+a deliberately broken engine *is* detected (the check battery is not
+vacuous)."""
+
+import json
+
+import pytest
+
+import repro.conformance.sta as sta_module
+from repro.conformance import (
+    CHECKS,
+    FuzzConfig,
+    SkipCheck,
+    STA_CHECKS,
+    generate_case,
+    generate_sta_case,
+    run_check,
+    run_fuzz,
+)
+from tests.strategies import STA_TICK
+
+
+class TestGeneration:
+    def test_case_is_a_pure_function_of_the_seed(self):
+        for seed in (0, 3, 99, 54321):
+            a, b = generate_sta_case(seed), generate_sta_case(seed)
+            assert a.to_payload() == b.to_payload()
+            assert a.k == b.k and a.nodes == b.nodes
+
+    def test_structure_is_a_constrained_dag_with_dyadic_times(self):
+        for seed in range(40):
+            case = generate_sta_case(seed)
+            case.graph.topological_order()  # must not raise: acyclic
+            assert case.kind == "sta"
+            assert case.arrivals and case.required
+            assert 1 <= case.k <= 12
+            assert case.nodes == tuple(sorted(case.required))
+            for edge in case.graph.edges():
+                ticks = edge.delay / STA_TICK
+                assert ticks == int(ticks) and 1 <= ticks <= 4096
+            for value in (*case.arrivals.values(), *case.required.values()):
+                assert value / STA_TICK == int(value / STA_TICK)
+
+    def test_sta_family_reachable_through_generate_case(self):
+        cases = [generate_case(seed) for seed in range(120)]
+        sta_cases = [c for c in cases if c.family == "sta"]
+        assert sta_cases, "no seed in 0..119 drew the sta family"
+        assert all(c.kind == "sta" for c in sta_cases)
+
+    def test_registered_in_global_checks(self):
+        for name in STA_CHECKS:
+            assert CHECKS[name] is STA_CHECKS[name]
+
+
+class TestDispatch:
+    def test_circuit_check_skips_sta_case(self):
+        with pytest.raises(SkipCheck, match="circuit"):
+            run_check("roundtrip", generate_sta_case(0), FuzzConfig())
+
+    def test_sta_check_skips_circuit_case(self):
+        case = generate_case(0, family="rc_tree")
+        with pytest.raises(SkipCheck, match="sta"):
+            run_check("sta_top_k_oracle", case, FuzzConfig())
+
+
+class TestChecksOnHealthyCode:
+    @pytest.mark.parametrize("name", sorted(STA_CHECKS))
+    def test_quiet_across_sixty_seeds(self, name):
+        for seed in range(60):
+            case = generate_sta_case(seed)
+            assert run_check(name, case, FuzzConfig()) == [], (seed, name)
+
+
+class TestInjectedBugDetection:
+    def test_broken_top_k_is_detected(self, monkeypatch):
+        # An engine that silently drops its most critical path must be
+        # caught by the oracle check on essentially any seed.
+        real = sta_module.report_top_k_critical_paths
+
+        def dropping(graph, arrivals, required, k):
+            return real(graph, arrivals, required, k)[1:]
+
+        monkeypatch.setattr(sta_module, "report_top_k_critical_paths",
+                            dropping)
+        detected = sum(
+            bool(run_check("sta_top_k_oracle", generate_sta_case(seed),
+                           FuzzConfig()))
+            for seed in range(10))
+        assert detected == 10
+
+    def test_scaling_check_catches_a_lossy_analyze(self, monkeypatch):
+        # Corrupt analyze() results only for the alpha-scaled run (whose
+        # required times are large): the scaling invariant must fire.
+        real = sta_module.analyze
+
+        def lossy(graph, arrivals, required):
+            result = real(graph, arrivals, required)
+            if max(required.values()) > 65536 * STA_TICK:  # the scaled run
+                result.slack[next(iter(result.slack))] += STA_TICK
+            return result
+
+        monkeypatch.setattr(sta_module, "analyze", lossy)
+        case = generate_sta_case(1)
+        assert run_check("sta_delay_scaling", case, FuzzConfig())
+
+
+class TestRunner:
+    def test_sta_family_run_is_clean_and_reproducible(self):
+        first = run_fuzz(range(10), family="sta")
+        second = run_fuzz(range(10), family="sta")
+        assert first["ok"]
+        assert first["families"] == {"sta": 10}
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))
+
+    def test_mixed_seed_stream_interleaves_kinds_cleanly(self):
+        report = run_fuzz(range(20))
+        assert report["ok"], report["failures"]
+        assert "sta" in report["families"]
+        totals = report["totals"]
+        assert (totals["passes"] + totals["skips"] + totals["violations"]
+                + totals["crashes"]) == totals["checks"]
+
+    def test_failure_record_carries_the_graph_payload(self, monkeypatch):
+        real = sta_module.report_top_k_critical_paths
+        monkeypatch.setattr(
+            sta_module, "report_top_k_critical_paths",
+            lambda graph, arrivals, required, k:
+                real(graph, arrivals, required, k)[1:])
+        report = run_fuzz(
+            [0], family="sta",
+            config=FuzzConfig(checks=("sta_top_k_oracle",)))
+        assert not report["ok"]
+        record = report["failures"][0]
+        assert record["check"] == "sta_top_k_oracle"
+        assert "netlist" not in record
+        payload = record["graph"]
+        assert payload["edges"] and payload["arrivals"] and payload["required"]
+        # The record is JSON-serialisable as-is (the report contract).
+        json.dumps(report, sort_keys=True)

@@ -1,0 +1,228 @@
+"""Unit tests for the timing DAG and arrival/required/slack propagation.
+
+The hand-worked examples pin the conventions down exactly: max-arrival
+forward, min-required backward, ``-inf``/``+inf`` defaults, ``+inf``
+slack for anything unconstrained, and deterministic topological order.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import StaError
+from repro.sta import TimingGraph, analyze
+from repro.sta.graph import report_top_k_critical_paths
+
+INF = float("inf")
+
+
+def diamond():
+    """a -> {b, c} -> d with a shorter and a longer branch."""
+    g = TimingGraph("diamond")
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("a", "c", 2.0)
+    g.add_edge("b", "d", 3.0)
+    g.add_edge("c", "d", 0.5)
+    return g
+
+
+class TestConstruction:
+    def test_nodes_keep_insertion_order(self):
+        g = TimingGraph()
+        for name in ("z", "m", "a"):
+            g.add_node(name)
+        assert g.nodes == ("z", "m", "a")
+        g.add_node("m")  # idempotent
+        assert g.node_count == 3
+
+    def test_edges_create_their_nodes(self):
+        g = TimingGraph()
+        edge = g.add_edge("x", "y", 2.5, kind="cell", label="INV")
+        assert g.has_node("x") and "y" in g
+        assert edge.delay == 2.5 and edge.kind == "cell" and edge.label == "INV"
+        assert g.out_edges("x") == (edge,)
+        assert g.in_edges("y") == (edge,)
+
+    @pytest.mark.parametrize("delay", [-1.0, float("nan"), INF, -INF])
+    def test_bad_delays_rejected(self, delay):
+        with pytest.raises(StaError, match="finite delay"):
+            TimingGraph().add_edge("a", "b", delay)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(StaError, match="self loop"):
+            TimingGraph().add_edge("a", "a", 1.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(StaError, match="duplicate edge"):
+            g.add_edge("a", "b", 2.0)
+
+    def test_bad_node_name_rejected(self):
+        with pytest.raises(StaError, match="non-empty string"):
+            TimingGraph().add_node("")
+        with pytest.raises(StaError, match="non-empty string"):
+            TimingGraph().add_node(3)
+
+    def test_copy_is_deep_for_topology(self):
+        g = diamond()
+        clone = g.copy()
+        clone.add_edge("d", "e", 1.0)
+        assert g.node_count == 4 and clone.node_count == 5
+        assert [e.delay for e in clone.edges()][:4] == [
+            e.delay for e in g.edges()]
+
+
+class TestTopology:
+    def test_order_is_deterministic_and_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        assert order == g.topological_order()
+        position = {n: i for i, n in enumerate(order)}
+        for edge in g.edges():
+            assert position[edge.src] < position[edge.dst]
+
+    def test_order_is_cached_and_invalidated(self):
+        g = diamond()
+        first = g.topological_order()
+        assert g.topological_order() is first
+        g.add_edge("d", "e", 1.0)
+        assert g.topological_order() != first
+
+    def test_cycle_is_reported_with_its_nodes(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        g.add_edge("c", "a", 1.0)
+        with pytest.raises(StaError, match="cycle") as err:
+            g.topological_order()
+        message = str(err.value)
+        for node in ("a", "b", "c"):
+            assert node in message
+
+
+class TestAnalyze:
+    def test_hand_worked_diamond(self):
+        res = analyze(diamond(), {"a": 0.5}, {"d": 5.0})
+        # a: 0.5; b: 1.5; c: 2.5; d: max(1.5+3, 2.5+0.5) = 4.5
+        assert res.arrival == {"a": 0.5, "b": 1.5, "c": 2.5, "d": 4.5}
+        # d: 5; b: 5-3 = 2; c: 5-0.5 = 4.5; a: min(2-1, 4.5-2) = 1
+        assert res.required_time == {"a": 1.0, "b": 2.0, "c": 4.5, "d": 5.0}
+        assert res.slack == {"a": 0.5, "b": 0.5, "c": 2.0, "d": 0.5}
+        assert res.worst_slack == 0.5
+        assert res.endpoints == ("d",)
+
+    def test_negative_slack_is_reported(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 10.0)
+        res = analyze(g, {"a": 0.0}, {"b": 4.0})
+        assert res.slack["b"] == -6.0
+        assert res.worst_slack == -6.0
+
+    def test_unreached_endpoint_has_infinite_slack(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("orphan")
+        res = analyze(g, {"a": 0.0}, {"b": 3.0, "orphan": 1.0})
+        assert res.arrival["orphan"] == -INF
+        assert res.slack["orphan"] == INF
+        assert res.worst_slack == 3.0 - 1.0
+        # Worst slack first, ties by name; +inf sorts last.
+        assert res.endpoints == ("b", "orphan")
+
+    def test_all_endpoints_unreached_gives_none_worst_slack(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("x")
+        res = analyze(g, {"a": 0.0}, {"x": 1.0})
+        assert res.worst_slack is None
+
+    def test_node_off_any_endpoint_is_unconstrained(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "c", 1.0)
+        res = analyze(g, {"a": 0.0}, {"b": 5.0})
+        assert res.required_time["c"] == INF
+        assert res.slack["c"] == INF
+
+    def test_external_arrival_competes_with_in_edges(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        res = analyze(g, {"a": 0.0, "b": 9.0}, {"b": 10.0})
+        assert res.arrival["b"] == 9.0  # max(0+1, external 9)
+
+    def test_required_on_internal_node_competes_with_successors(self):
+        g = TimingGraph()
+        g.add_edge("a", "m", 1.0)
+        g.add_edge("m", "z", 4.0)
+        res = analyze(g, {"a": 0.0}, {"m": 2.0, "z": 10.0})
+        # m's own constraint (2) is tighter than what z demands (10-4=6).
+        assert res.required_time["m"] == 2.0
+
+    @pytest.mark.parametrize("times, role", [
+        ({}, "arrivals"),
+        ("nope", "arrivals"),
+        ({"missing": 1.0}, "arrivals"),
+        ({"a": float("nan")}, "arrivals"),
+    ])
+    def test_bad_time_maps_rejected(self, times, role):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        good = {"a": 0.0}
+        with pytest.raises(StaError):
+            if role == "arrivals":
+                analyze(g, times, {"b": 1.0})
+
+    def test_bad_required_rejected_too(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(StaError, match="required"):
+            analyze(g, {"a": 0.0}, {"b": math.inf})
+
+    def test_analyze_rejects_cyclic_graph(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 1.0)
+        with pytest.raises(StaError, match="cycle"):
+            analyze(g, {"a": 0.0}, {"b": 1.0})
+
+
+class TestTopPathsBasics:
+    def test_diamond_paths_in_slack_order(self):
+        paths = report_top_k_critical_paths(
+            diamond(), {"a": 0.5}, {"d": 5.0}, 5)
+        assert [p.nodes for p in paths] == [
+            ("a", "b", "d"), ("a", "c", "d")]
+        assert [p.slack for p in paths] == [0.5, 2.0]
+        assert paths[0].arrival == 4.5 and paths[0].required == 5.0
+        assert [e.delay for e in paths[0].edges] == [1.0, 3.0]
+
+    def test_k_zero_is_empty(self):
+        assert report_top_k_critical_paths(
+            diamond(), {"a": 0.0}, {"d": 5.0}, 0) == []
+
+    def test_k_must_be_a_nonnegative_integer(self):
+        for bad in (-1, 1.5):
+            with pytest.raises(StaError, match="non-negative integer"):
+                report_top_k_critical_paths(
+                    diamond(), {"a": 0.0}, {"d": 5.0}, bad)
+
+    def test_single_node_path(self):
+        g = TimingGraph()
+        g.add_node("p")
+        paths = report_top_k_critical_paths(g, {"p": 1.0}, {"p": 4.0}, 3)
+        assert len(paths) == 1
+        assert paths[0].nodes == ("p",) and paths[0].edges == ()
+        assert paths[0].slack == 3.0
+
+    def test_launch_that_reaches_no_endpoint_yields_nothing(self):
+        g = TimingGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("x", "y", 1.0)
+        paths = report_top_k_critical_paths(
+            g, {"a": 0.0, "x": 0.0}, {"b": 5.0}, 10)
+        assert [p.nodes for p in paths] == [("a", "b")]
+
+    def test_result_top_paths_delegates(self):
+        res = analyze(diamond(), {"a": 0.5}, {"d": 5.0})
+        assert [p.nodes for p in res.top_paths(1)] == [("a", "b", "d")]

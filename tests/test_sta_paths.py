@@ -1,0 +1,114 @@
+"""The top-K critical-path enumerator against brute force.
+
+Two independent oracles hammer ``report_top_k_critical_paths``:
+
+* a hypothesis strategy over random DAGs (``strategies.timing_dags``)
+  with an exhaustive work-list enumerator (``strategies.
+  brute_force_paths``) that shares no code with the engine, and
+* an explicit 220-seed sweep over the conformance generator's layered
+  DAGs — the ISSUE's "agrees with brute force on 200+ seeded random
+  DAGs" acceptance criterion.
+
+All delays are dyadic (integer multiples of 2**-30 s), so the engine
+and the oracles must agree **bit for bit** on every slack and arrival —
+the assertions use ``==``, not ``pytest.approx``.
+"""
+
+from hypothesis import given, settings
+
+from repro.conformance import generate_sta_case
+from repro.sta import TimingGraph, analyze, report_top_k_critical_paths
+
+from tests.strategies import STA_TICK, brute_force_paths, timing_dags
+
+INF = float("inf")
+
+
+def assert_matches_oracle(graph, arrivals, required, k):
+    """Engine top-k == oracle's globally sorted prefix, field by field."""
+    oracle = brute_force_paths(graph, arrivals, required)
+    got = report_top_k_critical_paths(graph, arrivals, required, k)
+    want = oracle[:k]
+    assert len(got) == len(want)
+    for path, (slack, nodes, arrival, req, edges) in zip(got, want):
+        assert path.nodes == nodes
+        assert path.slack == slack
+        assert path.arrival == arrival
+        assert path.required == req
+        assert path.edges == edges
+    return oracle
+
+
+@settings(max_examples=120, deadline=None)
+@given(timing_dags())
+def test_engine_matches_brute_force(dag):
+    graph, arrivals, required, k = dag
+    assert_matches_oracle(graph, arrivals, required, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(timing_dags())
+def test_worst_path_slack_equals_worst_endpoint_slack(dag):
+    graph, arrivals, required, _ = dag
+    res = analyze(graph, arrivals, required)
+    paths = report_top_k_critical_paths(graph, arrivals, required, 1)
+    if res.worst_slack is None:
+        assert paths == []
+    else:
+        assert paths[0].slack == res.worst_slack
+
+
+def test_two_hundred_twenty_seeded_random_dags_match_brute_force():
+    """The acceptance criterion: 220 generator DAGs, bit-exact agreement."""
+    for seed in range(220):
+        case = generate_sta_case(seed)
+        oracle = assert_matches_oracle(
+            case.graph, case.arrivals, case.required, case.k)
+        # And with k past the total path count: full ordered enumeration.
+        assert_matches_oracle(
+            case.graph, case.arrivals, case.required, len(oracle) + 3)
+
+
+def test_enumeration_is_deterministic_across_calls():
+    case = generate_sta_case(11)
+    first = report_top_k_critical_paths(
+        case.graph, case.arrivals, case.required, case.k)
+    second = report_top_k_critical_paths(
+        case.graph, case.arrivals, case.required, case.k)
+    assert first == second
+
+
+def test_lexicographic_tie_break_between_equal_slack_paths():
+    # Two branches with identical total delay: slack ties exactly, the
+    # node sequence decides — ("a","b","d") < ("a","c","d").
+    g = TimingGraph()
+    g.add_edge("a", "b", 100 * STA_TICK)
+    g.add_edge("a", "c", 100 * STA_TICK)
+    g.add_edge("b", "d", 50 * STA_TICK)
+    g.add_edge("c", "d", 50 * STA_TICK)
+    paths = report_top_k_critical_paths(
+        g, {"a": 0.0}, {"d": 1000 * STA_TICK}, 2)
+    assert [p.nodes for p in paths] == [("a", "b", "d"), ("a", "c", "d")]
+    assert paths[0].slack == paths[1].slack
+
+
+def test_k_larger_than_path_count_returns_everything():
+    g = TimingGraph()
+    g.add_edge("a", "b", 1.0)
+    paths = report_top_k_critical_paths(g, {"a": 0.0}, {"b": 2.0}, 99)
+    assert len(paths) == 1
+
+
+def test_deep_chain_is_fast_and_exact():
+    # 200 edges in a straight line: one path, exact left-to-right sum.
+    g = TimingGraph()
+    total = 0.0
+    for i in range(200):
+        delay = (i + 1) * STA_TICK
+        g.add_edge(f"n{i}", f"n{i + 1}", delay)
+        total += delay
+    paths = report_top_k_critical_paths(
+        g, {"n0": 0.0}, {"n200": 2.0 ** -8}, 2)
+    assert len(paths) == 1
+    assert paths[0].arrival == total
+    assert paths[0].slack == 2.0 ** -8 - total
