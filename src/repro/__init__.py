@@ -70,6 +70,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.instrumentation import SolverStats
+from repro.reduce import Reduction, reduce_circuit
 from repro.report import (
     build_report,
     build_sta_report,
@@ -126,6 +127,7 @@ __all__ = [
     "PoleResidueModel",
     "Pulse",
     "Ramp",
+    "Reduction",
     "ReproError",
     "Resistor",
     "ResultCache",
@@ -153,6 +155,7 @@ __all__ = [
     "l2_error",
     "parse_netlist",
     "parse_netlist_file",
+    "reduce_circuit",
     "render_markdown",
     "render_sta_markdown",
     "report_top_k_critical_paths",

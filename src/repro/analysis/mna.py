@@ -39,6 +39,7 @@ import functools
 
 import numpy as np
 import scipy.linalg
+import scipy.sparse
 
 import networkx as nx
 
@@ -138,9 +139,14 @@ class MnaSystem:
     Attributes
     ----------
     G, C:
-        Dense ``(dim, dim)`` conductance and storage matrices.
+        ``(dim, dim)`` conductance and storage matrices — dense ndarrays
+        on the dense backend, ``scipy.sparse`` CSR on the sparse backend
+        (see :attr:`use_sparse`).  Matrix-vector products (``G @ x``) and
+        row/column slicing work identically; code that needs a plain
+        ndarray should go through :attr:`G_dense` / :attr:`C_dense`.
     B:
-        Dense ``(dim, n_sources)`` input incidence matrix.
+        ``(dim, n_sources)`` input incidence matrix, same backend as
+        ``G``/``C``; :meth:`b_column` yields a dense column either way.
     index:
         The :class:`MnaIndexing` describing the vector layouts.
     floating_groups:
@@ -153,11 +159,16 @@ class MnaSystem:
     Parameters
     ----------
     sparse:
-        ``True``/``False`` forces the DC factorisation backend;
-        ``None`` (default) picks sparse SuperLU for systems of dimension
-        ≥ 192 (extracted nets are >99 % structurally sparse, and the
-        moment recursion is nothing but repeated solves with this one
-        factorisation — paper Sec. 3.2).
+        ``True``/``False`` forces the assembly *and* factorisation
+        backend; ``None`` (default) picks sparse SuperLU for systems of
+        dimension ≥ 192 (extracted nets are >99 % structurally sparse,
+        and the moment recursion is nothing but repeated solves with this
+        one factorisation — paper Sec. 3.2).  The backend is decided
+        before stamping, so a sparse system never materialises a dense
+        ``(dim, dim)`` array at any point.  Forcing ``sparse=False`` at
+        or above the threshold is allowed but records a ``warning`` field
+        on the ``backend_selected`` trace event, because dense assembly
+        is O(n²) memory.
     tracer:
         A :class:`~repro.trace.Tracer` to record the ``mna_assembly`` /
         ``lu`` spans and the ``backend_selected`` event into; defaults to
@@ -175,34 +186,99 @@ class MnaSystem:
         self.tracer = NULL_TRACER if tracer is None else tracer
         with self.tracer.span("mna_assembly", elements=len(circuit)):
             self.index = _build_indexing(circuit)
-            self.G, self.C, self.B = _stamp(circuit, self.index)
+            self.use_sparse = (
+                sparse
+                if sparse is not None
+                else self.index.dimension >= _SPARSE_THRESHOLD
+            )
+            self.G, self.C, self.B = _stamp(
+                circuit, self.index, sparse=self.use_sparse
+            )
             self.floating_groups = _find_floating_groups(circuit, self.index)
             self.charge_rows = tuple(group[0] for group in self.floating_groups)
             self.G_aug = self._augment_for_charge()
-        self.use_sparse = (
-            sparse
-            if sparse is not None
-            else self.index.dimension >= _SPARSE_THRESHOLD
-        )
-        self.tracer.event(
-            "backend_selected",
-            backend="sparse" if self.use_sparse else "dense",
-            dimension=self.index.dimension,
-            forced=sparse is not None,
-        )
+        event = {
+            "backend": "sparse" if self.use_sparse else "dense",
+            "dimension": self.index.dimension,
+            "forced": sparse is not None,
+        }
+        if sparse is False and self.index.dimension >= _SPARSE_THRESHOLD:
+            event["warning"] = (
+                f"forced dense backend at dimension {self.index.dimension} "
+                f">= sparse threshold {_SPARSE_THRESHOLD}: assembly and "
+                f"factorisation are O(n²) memory; drop sparse=False to let "
+                f"the auto-selection pick SuperLU"
+            )
+        self.tracer.event("backend_selected", **event)
         self._lu = None
 
     # -- assembly ------------------------------------------------------
 
-    def _augment_for_charge(self) -> np.ndarray:
+    def _charge_row(self, group: tuple[int, ...]) -> np.ndarray:
+        """Dense total-charge row for a floating group (sum of ``C`` rows)."""
+        rows = self.C[list(group), :].sum(axis=0)
+        return np.asarray(rows, dtype=float).ravel()
+
+    def _augment_for_charge(self):
         """``G`` with, per floating group, one KCL row replaced by the sum
-        of the group's ``C`` rows (total-charge conservation)."""
+        of the group's ``C`` rows (total-charge conservation).
+
+        Sparse backend: rebuilt as CSC straight from the COO entries (the
+        format SuperLU wants) without a dense detour."""
         if not self.floating_groups:
-            return self.G
-        G_aug = self.G.copy()
+            return self.G.tocsc() if self.use_sparse else self.G
+        if not self.use_sparse:
+            G_aug = self.G.copy()
+            for group, row in zip(self.floating_groups, self.charge_rows):
+                G_aug[row, :] = self._charge_row(group)
+            return G_aug
+        coo = self.G.tocoo()
+        keep = ~np.isin(coo.row, np.asarray(self.charge_rows))
+        rows = [coo.row[keep]]
+        cols = [coo.col[keep]]
+        vals = [coo.data[keep]]
         for group, row in zip(self.floating_groups, self.charge_rows):
-            G_aug[row, :] = self.C[list(group), :].sum(axis=0)
-        return G_aug
+            charge = self._charge_row(group)
+            nonzero = np.nonzero(charge)[0]
+            rows.append(np.full(nonzero.size, row, dtype=coo.row.dtype))
+            cols.append(nonzero.astype(coo.col.dtype))
+            vals.append(charge[nonzero])
+        return scipy.sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=self.G.shape,
+        ).tocsc()
+
+    # -- dense views ---------------------------------------------------
+    #
+    # The exact-reference analyses (QZ poles, bordered zeros, brute-force
+    # frequency response) are inherently dense; they go through these so
+    # the core stays backend-agnostic.
+
+    @property
+    def G_dense(self) -> np.ndarray:
+        """``G`` as a dense ndarray (copy-free on the dense backend)."""
+        return self.G.toarray() if self.use_sparse else self.G
+
+    @property
+    def C_dense(self) -> np.ndarray:
+        """``C`` as a dense ndarray (copy-free on the dense backend)."""
+        return self.C.toarray() if self.use_sparse else self.C
+
+    @property
+    def B_dense(self) -> np.ndarray:
+        """``B`` as a dense ndarray (copy-free on the dense backend)."""
+        return self.B.toarray() if self.use_sparse else self.B
+
+    @property
+    def G_aug_dense(self) -> np.ndarray:
+        """``G_aug`` as a dense ndarray (copy-free on the dense backend)."""
+        return self.G_aug.toarray() if self.use_sparse else self.G_aug
+
+    def b_column(self, column: int) -> np.ndarray:
+        """Dense copy of one column of ``B`` (works on both backends)."""
+        if self.use_sparse:
+            return self.B[:, [column]].toarray().ravel()
+        return self.B[:, column].copy()
 
     # -- solving -------------------------------------------------------
 
@@ -229,10 +305,14 @@ class MnaSystem:
         import warnings
 
         if self.use_sparse:
-            from scipy.sparse import csc_matrix
+            from scipy.sparse import csc_matrix, issparse
             from scipy.sparse.linalg import splu
 
-            matrix = csc_matrix(self.G_aug)
+            matrix = (
+                self.G_aug.tocsc()
+                if issparse(self.G_aug)
+                else csc_matrix(self.G_aug)
+            )
             try:
                 with warnings.catch_warnings():
                     warnings.simplefilter("ignore")
@@ -287,6 +367,8 @@ class MnaSystem:
         For a matrix ``rhs``, ``charge_values`` may be ``(n_groups,)``
         (applied to every column) or ``(n_groups, k)`` (per column).
         """
+        if scipy.sparse.issparse(rhs):
+            rhs = rhs.toarray()
         rhs = np.array(rhs, dtype=float, copy=True)
         if rhs.ndim not in (1, 2):
             raise CircuitError(
@@ -326,13 +408,13 @@ class MnaSystem:
     def group_charge(self, x: np.ndarray) -> np.ndarray:
         """Total charge of each floating group for the MNA vector ``x``."""
         return np.array(
-            [self.C[list(group), :].sum(axis=0) @ x for group in self.floating_groups]
+            [self._charge_row(group) @ x for group in self.floating_groups]
         )
 
     def group_injection(self, u: np.ndarray) -> np.ndarray:
         """Net source current injected into each floating group (must be
         zero for a steady state to exist)."""
-        bu = self.B @ u
+        bu = np.asarray(self.B @ u).ravel()
         return np.array([bu[list(group)].sum() for group in self.floating_groups])
 
 
@@ -345,39 +427,79 @@ def _build_indexing(circuit: Circuit) -> MnaIndexing:
     return MnaIndexing(node_names, current_elements, source_names)
 
 
-def _stamp(circuit: Circuit, index: MnaIndexing):
+class _Triplets:
+    """COO triplet accumulator: the single assembly path for both backends.
+
+    Duplicate ``(i, j)`` entries accumulate in insertion order on the
+    dense path (``np.add.at`` applies repeated indices sequentially), so
+    dense matrices stay bit-identical to element-by-element ``+=``
+    stamping; the sparse path hands the same triplets to
+    ``scipy.sparse.coo_matrix``, which sums duplicates on conversion.
+    """
+
+    __slots__ = ("rows", "cols", "vals")
+
+    def __init__(self):
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+
+    def add(self, i: int, j: int, value: float) -> None:
+        self.rows.append(i)
+        self.cols.append(j)
+        self.vals.append(value)
+
+    def build(self, shape: tuple[int, int], sparse: bool):
+        if sparse:
+            return scipy.sparse.coo_matrix(
+                (self.vals, (self.rows, self.cols)), shape=shape, dtype=float
+            ).tocsr()
+        matrix = np.zeros(shape)
+        if self.rows:
+            np.add.at(
+                matrix,
+                (np.asarray(self.rows), np.asarray(self.cols)),
+                np.asarray(self.vals, dtype=float),
+            )
+        return matrix
+
+
+def _stamp(circuit: Circuit, index: MnaIndexing, sparse: bool = False):
+    """Assemble ``G``, ``C``, ``B`` as COO triplets, then build either
+    dense ndarrays or CSR matrices — the sparse path never allocates a
+    dense ``(dim, dim)`` array."""
     dim = index.dimension
-    G = np.zeros((dim, dim))
-    C = np.zeros((dim, dim))
-    B = np.zeros((dim, index.source_count))
+    G = _Triplets()
+    C = _Triplets()
+    B = _Triplets()
 
     def node(name: str) -> int | None:
         return None if name == GROUND else index.node(name)
 
-    def stamp_pair(M: np.ndarray, i: int | None, j: int | None, value: float) -> None:
+    def stamp_pair(M: _Triplets, i: int | None, j: int | None, value: float) -> None:
         """Add ``value`` at (i, i)/(j, j) and ``-value`` at (i, j)/(j, i)."""
         if i is not None:
-            M[i, i] += value
+            M.add(i, i, value)
             if j is not None:
-                M[i, j] -= value
+                M.add(i, j, -value)
         if j is not None:
-            M[j, j] += value
+            M.add(j, j, value)
             if i is not None:
-                M[j, i] -= value
+                M.add(j, i, -value)
 
     def stamp_branch_kcl(row_p: int | None, row_n: int | None, col: int) -> None:
         """Branch current ``col`` leaves the positive node, enters the negative."""
         if row_p is not None:
-            G[row_p, col] += 1.0
+            G.add(row_p, col, 1.0)
         if row_n is not None:
-            G[row_n, col] -= 1.0
+            G.add(row_n, col, -1.0)
 
     def stamp_branch_voltage(row: int, p: int | None, n: int | None) -> None:
         """Row asserting V(p) - V(n) on the left-hand side."""
         if p is not None:
-            G[row, p] += 1.0
+            G.add(row, p, 1.0)
         if n is not None:
-            G[row, n] -= 1.0
+            G.add(row, n, -1.0)
 
     def control_current_index(name: str) -> int:
         if name not in circuit:
@@ -394,48 +516,48 @@ def _stamp(circuit: Circuit, index: MnaIndexing):
             j = index.current(element.name)
             stamp_branch_kcl(p, n, j)
             stamp_branch_voltage(j, p, n)
-            C[j, j] -= element.inductance
+            C.add(j, j, -element.inductance)
         elif isinstance(element, VoltageSource):
             j = index.current(element.name)
             stamp_branch_kcl(p, n, j)
             stamp_branch_voltage(j, p, n)
-            B[j, index.source(element.name)] = 1.0
+            B.add(j, index.source(element.name), 1.0)
         elif isinstance(element, CurrentSource):
             k = index.source(element.name)
             if p is not None:
-                B[p, k] -= 1.0
+                B.add(p, k, -1.0)
             if n is not None:
-                B[n, k] += 1.0
+                B.add(n, k, 1.0)
         elif isinstance(element, VCCS):
             cp, cn = node(element.ctrl_positive), node(element.ctrl_negative)
             for row, sign_row in ((p, +1.0), (n, -1.0)):
                 if row is None:
                     continue
                 if cp is not None:
-                    G[row, cp] += sign_row * element.gain
+                    G.add(row, cp, sign_row * element.gain)
                 if cn is not None:
-                    G[row, cn] -= sign_row * element.gain
+                    G.add(row, cn, -sign_row * element.gain)
         elif isinstance(element, VCVS):
             j = index.current(element.name)
             stamp_branch_kcl(p, n, j)
             stamp_branch_voltage(j, p, n)
             cp, cn = node(element.ctrl_positive), node(element.ctrl_negative)
             if cp is not None:
-                G[j, cp] -= element.gain
+                G.add(j, cp, -element.gain)
             if cn is not None:
-                G[j, cn] += element.gain
+                G.add(j, cn, element.gain)
         elif isinstance(element, CCCS):
             jc = control_current_index(element.control_element)
             if p is not None:
-                G[p, jc] += element.gain
+                G.add(p, jc, element.gain)
             if n is not None:
-                G[n, jc] -= element.gain
+                G.add(n, jc, -element.gain)
         elif isinstance(element, CCVS):
             j = index.current(element.name)
             jc = control_current_index(element.control_element)
             stamp_branch_kcl(p, n, j)
             stamp_branch_voltage(j, p, n)
-            G[j, jc] -= element.gain
+            G.add(j, jc, -element.gain)
         else:  # pragma: no cover - new element types must be stamped here
             raise CircuitError(f"no MNA stamp for element type {type(element).__name__}")
 
@@ -447,10 +569,14 @@ def _stamp(circuit: Circuit, index: MnaIndexing):
         j1 = index.current(coupling.inductor_a)
         j2 = index.current(coupling.inductor_b)
         mutual = coupling.mutual(inductor_a.inductance, inductor_b.inductance)
-        C[j1, j2] -= mutual
-        C[j2, j1] -= mutual
+        C.add(j1, j2, -mutual)
+        C.add(j2, j1, -mutual)
 
-    return G, C, B
+    return (
+        G.build((dim, dim), sparse),
+        C.build((dim, dim), sparse),
+        B.build((dim, index.source_count), sparse),
+    )
 
 
 def _find_floating_groups(circuit: Circuit, index: MnaIndexing) -> tuple[tuple[int, ...], ...]:

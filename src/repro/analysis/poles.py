@@ -58,8 +58,10 @@ def circuit_poles(system: MnaSystem, tol: float = 1e-9) -> ModalDecomposition:
     ``tol`` controls the relative magnitude beyond which an eigenvalue is
     treated as one of the pencil's infinite (non-dynamic) eigenvalues.
     """
-    norm_G = np.linalg.norm(system.G)
-    norm_C = np.linalg.norm(system.C)
+    # QZ is a dense reference algorithm; pull dense views so the sparse
+    # backend can still ask for exact poles (small systems only).
+    norm_G = np.linalg.norm(system.G_dense)
+    norm_C = np.linalg.norm(system.C_dense)
     if norm_C == 0.0:
         return ModalDecomposition(np.array([], dtype=complex),
                                   np.zeros((system.dimension, 0), dtype=complex))
@@ -87,7 +89,7 @@ def circuit_poles(system: MnaSystem, tol: float = 1e-9) -> ModalDecomposition:
 def _eigenpairs(system: MnaSystem, omega: float):
     """Generalised eigenpairs of the scaled pencil (−G, ω·C)."""
     eigenvalues, vr = scipy.linalg.eig(
-        -system.G, system.C * omega, homogeneous_eigvals=True
+        -system.G_dense, system.C_dense * omega, homogeneous_eigvals=True
     )
     alpha, beta = eigenvalues
     return alpha, beta, vr

@@ -39,9 +39,12 @@ Algorithm notes
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 import scipy.linalg
+import scipy.sparse
+import scipy.sparse.linalg
 
 from repro.analysis.dcop import (
     StorageState,
@@ -77,10 +80,10 @@ def _trbdf2_step(system, x, h, b_prev, b_next, stimuli, source_order, t_prev, fa
     b_mid = system.B @ excitation_at(stimuli, source_order, t_prev + gamma_h)
     # Stage A: trapezoidal over [t, t+γh].
     rhs = (2.0 * system.C / gamma_h - system.G) @ x + b_prev + b_mid
-    x_mid = scipy.linalg.lu_solve(factor(h, "trbdf2-a"), rhs)
+    x_mid = factor(h, "trbdf2-a")(rhs)
     # Stage B: BDF2 over the three nodes t, t+γh, t+h.
     rhs = -(_TRBDF2_B / h) * (system.C @ x_mid) - (_TRBDF2_C / h) * (system.C @ x) + b_next
-    return scipy.linalg.lu_solve(factor(h, "trbdf2-b"), rhs)
+    return factor(h, "trbdf2-b")(rhs)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -258,8 +261,10 @@ def _run_fixed(system, stimuli, source_order, segments, x0, total_steps, method)
         lu_cache: dict[tuple, tuple] = {}
 
         def factor(h: float, kind: str):
-            """LU of the implicit-step matrix: kind is 'be', 'tr', 'trbdf2-a'
-            (the trapezoidal half-stage) or 'trbdf2-b' (the BDF2 stage)."""
+            """Solve-callable for the implicit-step matrix: kind is 'be',
+            'tr', 'trbdf2-a' (the trapezoidal half-stage) or 'trbdf2-b'
+            (the BDF2 stage).  Dense systems LU-factor through LAPACK;
+            sparse systems go through SuperLU without densifying."""
             key = (h, kind)
             if key not in lu_cache:
                 if kind == "be":
@@ -270,7 +275,13 @@ def _run_fixed(system, stimuli, source_order, segments, x0, total_steps, method)
                     matrix = 2.0 * system.C / (_TRBDF2_GAMMA * h) + system.G
                 else:  # trbdf2-b
                     matrix = (_TRBDF2_A / h) * system.C + system.G
-                lu_cache[key] = scipy.linalg.lu_factor(matrix)
+                if system.use_sparse:
+                    lu_cache[key] = scipy.sparse.linalg.splu(
+                        scipy.sparse.csc_matrix(matrix)
+                    ).solve
+                else:
+                    lu = scipy.linalg.lu_factor(matrix)
+                    lu_cache[key] = functools.partial(scipy.linalg.lu_solve, lu)
             return lu_cache[key]
 
         b_prev = system.B @ excitation_at(stimuli, source_order, seg_start)
@@ -287,10 +298,10 @@ def _run_fixed(system, stimuli, source_order, segments, x0, total_steps, method)
                 method == "trapezoidal" and k <= _BE_STARTUP_STEPS
             ):
                 rhs = system.C @ x / h + b_next
-                x = scipy.linalg.lu_solve(factor(h, "be"), rhs)
+                x = factor(h, "be")(rhs)
             elif method == "trapezoidal":
                 rhs = (system.C / h - system.G / 2.0) @ x + 0.5 * (b_next + b_prev)
-                x = scipy.linalg.lu_solve(factor(h, "tr"), rhs)
+                x = factor(h, "tr")(rhs)
             else:
                 x = _trbdf2_step(
                     system, x, h, b_prev, b_next,

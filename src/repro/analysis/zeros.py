@@ -32,10 +32,10 @@ def _bordered_zeros(system: MnaSystem, rhs: np.ndarray, row: int, tol: float) ->
     n = system.dimension
     A0 = np.zeros((n + 1, n + 1))
     A1 = np.zeros((n + 1, n + 1))
-    A0[:n, :n] = system.G
+    A0[:n, :n] = system.G_dense
     A0[:n, n] = rhs
     A0[n, row] = 1.0
-    A1[:n, :n] = system.C
+    A1[:n, :n] = system.C_dense
 
     norm_A0 = np.linalg.norm(A0)
     norm_A1 = np.linalg.norm(A1)
@@ -59,7 +59,7 @@ def transfer_zeros(
         raise AnalysisError("transfer to ground has no meaningful zeros")
     row = system.index.node(name)
     column = system.index.source(source)
-    return _bordered_zeros(system, system.B[:, column], row, tol)
+    return _bordered_zeros(system, system.b_column(column), row, tol)
 
 
 def response_zeros(
@@ -72,4 +72,6 @@ def response_zeros(
     if name == GROUND:
         raise AnalysisError("ground has no response")
     row = system.index.node(name)
-    return _bordered_zeros(system, system.C @ np.asarray(y0, dtype=float), row, tol)
+    return _bordered_zeros(
+        system, np.asarray(system.C @ np.asarray(y0, dtype=float)).ravel(), row, tol
+    )

@@ -19,9 +19,11 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.parser import ParsedDeck, parse_netlist, parse_netlist_file
 from repro.circuit.topology import (
     RcTree,
+    SeriesRcChain,
     TreeLinkPartition,
     analyze_rc_tree,
     is_rc_tree,
+    series_rc_chains,
     tree_link_partition,
 )
 from repro.circuit.units import format_engineering, parse_value
@@ -43,6 +45,7 @@ __all__ = [
     "ParsedDeck",
     "RcTree",
     "Resistor",
+    "SeriesRcChain",
     "TreeLinkPartition",
     "VoltageSource",
     "analyze_rc_tree",
@@ -52,6 +55,7 @@ __all__ = [
     "parse_netlist",
     "parse_netlist_file",
     "parse_value",
+    "series_rc_chains",
     "tree_link_partition",
     "validate_for_analysis",
     "write_netlist",

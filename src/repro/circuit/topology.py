@@ -256,3 +256,145 @@ def tree_link_partition(circuit: Circuit) -> TreeLinkPartition:
         else:
             links.append(element)
     return TreeLinkPartition(tuple(tree), tuple(links))
+
+
+# ----------------------------------------------------------------------
+# Series RC chain detection (the topology side of repro.reduce)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesRcChain:
+    """A maximal run of collapsible degree-2 series RC nodes.
+
+    ``anchor_a``/``anchor_b`` are the retained end nodes (either may be
+    ground); ``interior`` lists the removable nodes in walking order from
+    ``anchor_a``; ``resistors`` the ``len(interior) + 1`` series
+    resistors in the same order; ``capacitors`` one tuple per interior
+    node holding that node's grounded capacitors (possibly empty).
+    """
+
+    anchor_a: str
+    anchor_b: str
+    interior: tuple[str, ...]
+    resistors: tuple[Resistor, ...]
+    capacitors: tuple[tuple[Capacitor, ...], ...]
+
+    @property
+    def total_resistance(self) -> float:
+        return sum(r.resistance for r in self.resistors)
+
+    @property
+    def total_capacitance(self) -> float:
+        return sum(c.capacitance for caps in self.capacitors for c in caps)
+
+
+def series_rc_chains(circuit: Circuit, keep: tuple = ()) -> tuple[SeriesRcChain, ...]:
+    """Maximal series RC chains whose interior nodes can be collapsed.
+
+    An interior node is *removable* when its entire connection to the
+    circuit is exactly two series resistors plus (optionally) grounded
+    capacitors with no initial condition, and it is neither ground, a
+    ``keep`` node (analysis tap), nor touched by any source, inductor,
+    controlled source, control port, or floating capacitor.  Chains whose
+    two anchors coincide (a loop hanging off one node) are not reported:
+    collapsing them would create a self-loop element.
+
+    Detection is purely topological; the collapse arithmetic lives in
+    :mod:`repro.reduce`.
+    """
+    from repro.circuit.elements import canonical_node
+
+    kept = {canonical_node(node) for node in keep}
+    resistor_adjacency: dict[str, list[Resistor]] = {}
+    grounded_caps: dict[str, list[Capacitor]] = {}
+    blocked: set[str] = set(kept)
+
+    def block(*names):
+        for name in names:
+            if name is not None and name != GROUND:
+                blocked.add(name)
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            for end in (element.positive, element.negative):
+                if end != GROUND:
+                    resistor_adjacency.setdefault(end, []).append(element)
+        elif isinstance(element, Capacitor):
+            if element.is_grounded and element.initial_voltage is None:
+                node = (element.positive
+                        if element.positive != GROUND else element.negative)
+                grounded_caps.setdefault(node, []).append(element)
+            else:
+                block(element.positive, element.negative)
+        else:
+            block(element.positive, element.negative)
+            block(getattr(element, "ctrl_positive", None),
+                  getattr(element, "ctrl_negative", None))
+
+    removable = set()
+    for node in circuit.nodes:
+        if node in blocked:
+            continue
+        incident = resistor_adjacency.get(node, ())
+        if len(incident) != 2:
+            continue
+        removable.add(node)
+
+    def other_end(resistor: Resistor, node: str) -> str:
+        return resistor.negative if resistor.positive == node else resistor.positive
+
+    chains: list[SeriesRcChain] = []
+    visited: set[str] = set()
+    for seed in circuit.nodes:
+        if seed not in removable or seed in visited:
+            continue
+        first, second = resistor_adjacency[seed]
+        # Walk outward in both directions until a non-removable anchor.
+        left: list[str] = []
+        left_resistors: list[Resistor] = []
+        is_cycle = False
+        node, res = seed, first
+        while True:
+            nxt = other_end(res, node)
+            left_resistors.append(res)
+            if nxt not in removable:
+                anchor_a = nxt
+                break
+            if nxt == seed or nxt in left:
+                is_cycle = True
+                break
+            left.append(nxt)
+            a, b = resistor_adjacency[nxt]
+            node, res = nxt, (b if a is res else a)
+        right: list[str] = []
+        right_resistors: list[Resistor] = []
+        if not is_cycle:
+            node, res = seed, second
+            while True:
+                nxt = other_end(res, node)
+                right_resistors.append(res)
+                if nxt not in removable:
+                    anchor_b = nxt
+                    break
+                if nxt == seed or nxt in left or nxt in right:
+                    is_cycle = True
+                    break
+                right.append(nxt)
+                a, b = resistor_adjacency[nxt]
+                node, res = nxt, (b if a is res else a)
+        interior = list(reversed(left)) + [seed] + right
+        visited.update(interior)
+        if is_cycle or anchor_a == anchor_b:
+            continue
+        ordered_resistors = list(reversed(left_resistors)) + right_resistors
+        chains.append(SeriesRcChain(
+            anchor_a=anchor_a,
+            anchor_b=anchor_b,
+            interior=tuple(interior),
+            resistors=tuple(ordered_resistors),
+            capacitors=tuple(
+                tuple(grounded_caps.get(node, ())) for node in interior
+            ),
+        ))
+    return tuple(chains)

@@ -117,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process-pool width (default 1 = in-process)")
     report.add_argument("--timeout", type=float,
                         help="per-job wall-clock timeout in seconds")
+    report.add_argument("--reduce", action="store_true",
+                        help="collapse series RC chains before analysis "
+                             "(docs/scaling.md)")
     report.add_argument("--json", metavar="PATH",
                         help="write the machine-readable run report "
                              "(schema repro.run-report/1) here; '-' = stdout")
@@ -162,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool width (default 1 = in-process)")
     batch.add_argument("--timeout", type=float,
                        help="per-job wall-clock timeout in seconds")
+    batch.add_argument("--reduce", action="store_true",
+                       help="collapse series RC chains before analysis "
+                            "(docs/scaling.md)")
     batch.add_argument("--stats", action="store_true",
                        help="emit solver instrumentation counters as one "
                             "JSON object on stderr")
@@ -239,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist cached reports here (restart-warm cache)")
     serve.add_argument("--timeout", type=float,
                        help="default per-request wall-clock budget in seconds")
+    serve.add_argument("--reduce", action="store_true",
+                       help="collapse series RC chains by default for "
+                            "requests that don't say (docs/scaling.md)")
     serve.add_argument("--engine-workers", type=int, default=1,
                        help="analysis processes per worker thread's engine; "
                             ">1 enables the self-healing process pool "
@@ -272,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="logic threshold for an extra delay column (V)")
     analyze.add_argument("--timeout", type=float,
                          help="server-side per-request budget in seconds")
+    analyze.add_argument("--reduce", action="store_true",
+                         help="ask the server to collapse series RC chains "
+                              "before analysis (docs/scaling.md)")
     analyze.add_argument("--retries", type=int, default=2,
                          help="extra attempts for transient failures "
                               "(429/503/connection errors; default 2)")
@@ -328,6 +340,7 @@ def cmd_report(args) -> int:
                 error_target=args.target,
                 max_order=args.max_order,
                 label=label,
+                reduce=args.reduce,
             )
         )
 
@@ -472,6 +485,7 @@ def cmd_batch(args) -> int:
                 error_target=args.target,
                 max_order=args.max_order,
                 label=deck.title or path,
+                reduce=args.reduce,
             )
         )
 
@@ -683,6 +697,7 @@ def cmd_serve(args) -> int:
         cache_bytes=args.cache_bytes,
         cache_dir=args.cache_dir,
         timeout=args.timeout,
+        default_reduce=args.reduce,
         engine_workers=args.engine_workers,
         degraded_threshold=args.degraded_threshold,
         fault_spec=args.faults,
@@ -705,6 +720,7 @@ def cmd_analyze(args) -> int:
         max_order=args.max_order,
         threshold=args.threshold,
         timeout=args.timeout,
+        reduce=True if args.reduce else None,
     )
     print(f"server: {args.server} "
           f"[{'cache hit' if outcome.cached else 'computed'}, "

@@ -37,6 +37,14 @@ The invariants are the paper's own mathematics turned into oracles:
 ``batch_vs_sequential``
     :class:`~repro.engine.batch.BatchEngine` results are bit-identical
     to a direct :class:`~repro.core.driver.AweAnalyzer` run.
+``reduction_equivalence``
+    RC-chain pre-reduction (:func:`repro.reduce.reduce_circuit`) is an
+    approximation with a guaranteed shape: transfer moments m₀ and m₁
+    (DC gain and Elmore) at every retained node are preserved exactly on
+    *every* family, and on the ``long_chain`` family — where the
+    sectioned pi collapse keeps higher-moment error ~1/k² small — full
+    AWE waveforms and 50 % delays additionally agree within a calibrated
+    2 % / 1 % bound.  Skipped when nothing in the case is collapsible.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.analysis.mna import MnaSystem
 from repro.analysis.sources import DC, PWL, Pulse, Ramp, Step, Stimulus
 from repro.analysis.transient import simulate
 from repro.circuit.elements import Capacitor, Inductor, Resistor
@@ -52,9 +61,11 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.parser import parse_netlist
 from repro.circuit.writer import write_netlist
 from repro.core.driver import AweAnalyzer
+from repro.core.transfer import transfer_moments
 from repro.engine.batch import AweJob, BatchEngine
 from repro.errors import AnalysisError, ReproError
 from repro.rctree import elmore_delays
+from repro.reduce import reduce_circuit
 from repro.service.canon import canonical_deck, request_key
 from repro.waveform import l2_error
 
@@ -433,6 +444,90 @@ def check_batch_vs_sequential(case: FuzzCase, config: FuzzConfig) -> list[str]:
     return violations
 
 
+def check_reduction_equivalence(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    """Reduced and unreduced circuits must tell the same timing story.
+
+    Two tiers, matching the collapse's actual guarantee
+    (:mod:`repro.reduce`):
+
+    * **Exact, every family** — the transfer moments m₀ (DC gain) and m₁
+      (−Elmore) from the driving source to every retained node survive
+      the pi collapse for *any* surrounding resistive network (the
+      Norton current-divider split of each re-homed cap's injection is
+      exact, and the zeroth-moment voltage is linear along a chain), so
+      they get a tight relative tolerance.  Higher moments — and hence
+      full waveforms on arbitrarily *nonuniform* short chains — are
+      approximations with no small universal bound.
+    * **Calibrated, ``long_chain`` family only** — on long quasi-uniform
+      chains the sectioned collapse keeps higher-moment error ~1/k²
+      small, so full (auto-order) waveforms and 50 % delays additionally
+      must agree within 2 % of swing / 1 % relative.
+    """
+    reduction = reduce_circuit(case.circuit, keep=case.nodes)
+    if not reduction.reduced:
+        raise SkipCheck("no collapsible series RC chain in this case")
+    violations: list[str] = []
+    base_system = MnaSystem(case.circuit)
+    reduced_system = MnaSystem(reduction.circuit)
+    for node in case.nodes:
+        m_base = transfer_moments(base_system, case.source, node, 2)
+        m_reduced = transfer_moments(reduced_system, case.source, node, 2)
+        for k in range(2):
+            if not np.isclose(m_reduced[k], m_base[k], rtol=1e-8, atol=0.0):
+                violations.append(
+                    f"node {node}: transfer moment m{k} {m_reduced[k]:.10e} "
+                    f"(reduced) vs {m_base[k]:.10e} — the collapse failed "
+                    f"to preserve {'DC gain' if k == 0 else 'the Elmore moment'}"
+                )
+    if case.family != "long_chain":
+        return violations
+    for node in case.nodes:
+        base = _response(case, config, node)
+        reduced = _response(case, config, node, circuit=reduction.circuit)
+        window = base.waveform.suggested_window()
+        times = np.linspace(0.0, window, 200)
+        swing = max(_swing(base.waveform, window), 1e-12)
+        worst = float(np.abs(reduced.waveform.evaluate(times)
+                             - base.waveform.evaluate(times)).max())
+        if worst > 0.02 * swing:
+            violations.append(
+                f"node {node}: reduced waveform deviates by {worst:.3g} "
+                f"({worst / swing:.2%} of swing; bound 2%) — "
+                f"{reduction.original_node_count} -> "
+                f"{reduction.reduced_node_count} nodes"
+            )
+        if swing > 1e-9:
+            base_delay = base.delay_50()
+            reduced_delay = reduced.delay_50()
+            if np.isfinite(base_delay) and base_delay > 0:
+                drift = abs(reduced_delay - base_delay) / base_delay
+                if drift > 0.01:
+                    violations.append(
+                        f"node {node}: reduced 50% delay {reduced_delay:.4g} "
+                        f"vs unreduced {base_delay:.4g} "
+                        f"(relative drift {drift:.2%}; bound 1%)"
+                    )
+        # Under a pure step the order-1 response pole is −1/T_Elmore,
+        # and the collapse preserves the Elmore moment exactly — so the
+        # pole itself must survive to tight tolerance.  (The case's own
+        # stimulus may be a delayed step, whose subproblem mixing pulls
+        # higher moments into the order-1 fit; a fixed step isolates the
+        # invariant.)
+        step = {case.source: Step(0.0, 1.0)}
+        base1 = _response(case, config, node, stimuli=step, order=1)
+        reduced1 = _response(case, config, node, circuit=reduction.circuit,
+                             stimuli=step, order=1)
+        p_base = float(base1.poles[0].real)
+        p_reduced = float(reduced1.poles[0].real)
+        if not np.isclose(p_reduced, p_base, rtol=1e-6, atol=0.0):
+            violations.append(
+                f"node {node}: step order-1 pole {p_reduced:.8e} (reduced) "
+                f"vs {p_base:.8e} — the collapse failed to preserve the "
+                f"Elmore pole"
+            )
+    return violations
+
+
 #: The registry, in the order the runner executes them: cheap structural
 #: checks first, the differential oracle last (it dominates wall time).
 CHECKS: dict = {
@@ -444,6 +539,7 @@ CHECKS: dict = {
     "time_scaling": check_time_scaling,
     "frequency_scaling": check_frequency_scaling,
     "batch_vs_sequential": check_batch_vs_sequential,
+    "reduction_equivalence": check_reduction_equivalence,
     "awe_vs_transient": check_awe_vs_transient,
 }
 

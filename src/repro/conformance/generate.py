@@ -189,6 +189,31 @@ def _case_floating_cap(seed: int, rng: np.random.Generator) -> FuzzCase:
                     (str(nodes), "f"), "Vin")
 
 
+def _case_long_chain(seed: int, rng: np.random.Generator) -> FuzzCase:
+    """A long nonuniform series RC chain (40–120 sections) observed at
+    its far end and one mid-chain tap — the structure
+    :func:`repro.reduce.reduce_circuit` collapses.  Exists to feed the
+    ``reduction_equivalence`` check cases where the reduction actually
+    bites (dozens of collapsible interior nodes across several compact
+    sections, a retained tap splitting one chain in two)."""
+    sections = int(rng.integers(40, 121))
+    circuit = Circuit(f"long chain (n={sections}, seed={seed})")
+    circuit.add_voltage_source("Vin", "in", "0")
+    previous = "in"
+    for i in range(1, sections + 1):
+        node = str(i)
+        circuit.add_resistor(f"R{i}", previous, node,
+                             float(10 ** rng.uniform(1.5, 2.5)))
+        circuit.add_capacitor(f"C{i}", node, "0",
+                              float(10 ** rng.uniform(-13.5, -12.5)))
+        previous = node
+    tap = str(int(rng.integers(sections // 3, 2 * sections // 3 + 1)))
+    outputs = tuple(dict.fromkeys((str(sections), tap)))
+    return FuzzCase(seed, "long_chain", circuit,
+                    {"Vin": _stimulus(rng, allow_ramp=False)},
+                    outputs, "Vin", is_rc_tree=True)
+
+
 def _case_coupled_rc(seed: int, rng: np.random.Generator) -> FuzzCase:
     sections = int(rng.integers(1, 6))
     circuit = coupled_rc_lines(
@@ -248,7 +273,9 @@ def _case_sta(seed: int, rng: np.random.Generator):
 #: ``sta`` family yields graph cases (``kind == "sta"``) that only the
 #: STA checks run on; its weight is consumed by a *separate* pre-draw
 #: (see :func:`generate_case`) so adding it left every circuit seed's
-#: case bit-identical to the calibrated pre-sta stream.
+#: case bit-identical to the calibrated pre-sta stream.  ``long_chain``
+#: (added later) is carved out the same way, with its own pre-draw, for
+#: the same reason.
 FAMILIES: dict = {
     "rc_tree": (_case_rc_tree, 0.18),
     "rc_ladder": (_case_rc_ladder, 0.12),
@@ -262,7 +289,12 @@ FAMILIES: dict = {
     "rlc_line": (_case_rlc_line, 0.03),
     "coupled_rlc": (_case_coupled_rlc, 0.02),
     "sta": (_case_sta, 0.10),
+    "long_chain": (_case_long_chain, 0.05),
 }
+
+#: Families claimed by an independently-seeded pre-draw instead of the
+#: main weighted choice, in draw order (see :func:`generate_case`).
+_CARVED_OUT: tuple = (("sta", 0x57A), ("long_chain", 0x10C))
 
 
 def generate_case(seed: int, family: str | None = None) -> FuzzCase:
@@ -271,11 +303,13 @@ def generate_case(seed: int, family: str | None = None) -> FuzzCase:
     ``family`` forces a specific family (same seed → same circuit within
     that family); by default the family itself is drawn from the seed.
 
-    The ``sta`` family is carved out with an independently-seeded
-    pre-draw *before* the circuit-family choice touches the main rng:
-    the seeds it does not claim consume exactly the rng stream they did
-    before the family existed, so every calibrated circuit case stays
-    bit-identical and only the claimed seeds switch to graph cases.
+    The ``sta`` and ``long_chain`` families are carved out with
+    independently-seeded pre-draws *before* the circuit-family choice
+    touches the main rng: the seeds they do not claim consume exactly
+    the rng stream they did before either family existed, so every
+    calibrated circuit case stays bit-identical and only the claimed
+    seeds switch over.  (Earlier carve-outs draw first, so adding a new
+    one never re-routes a seed an older family already claimed.)
     """
     if family is not None and family not in FAMILIES:
         raise CircuitError(
@@ -283,10 +317,13 @@ def generate_case(seed: int, family: str | None = None) -> FuzzCase:
         )
     rng = np.random.default_rng(seed)
     if family is None:
-        if np.random.default_rng([seed, 0x57A]).random() < FAMILIES["sta"][1]:
-            family = "sta"
+        for name, salt in _CARVED_OUT:
+            if np.random.default_rng([seed, salt]).random() < FAMILIES[name][1]:
+                family = name
+                break
         else:
-            names = [name for name in FAMILIES if name != "sta"]
+            carved = {name for name, _ in _CARVED_OUT}
+            names = [name for name in FAMILIES if name not in carved]
             weights = np.array([FAMILIES[name][1] for name in names])
             family = str(rng.choice(names, p=weights / weights.sum()))
     builder = FAMILIES[family][0]

@@ -31,6 +31,7 @@ finite differences check the general case in the test suite.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
@@ -130,11 +131,20 @@ def delay_sensitivities(
     # but we solve with the transpose explicitly to stay general).
     import scipy.linalg
 
-    lu_t = scipy.linalg.lu_factor(system.G_aug.T)
+    if system.use_sparse:
+        import scipy.sparse
+        import scipy.sparse.linalg
+
+        solve_t = scipy.sparse.linalg.splu(
+            scipy.sparse.csc_matrix(system.G_aug.T)
+        ).solve
+    else:
+        lu_t = scipy.linalg.lu_factor(system.G_aug.T)
+        solve_t = functools.partial(scipy.linalg.lu_solve, lu_t)
     e_o = np.zeros(system.dimension)
     e_o[row] = 1.0
-    a = scipy.linalg.lu_solve(lu_t, e_o)
-    c = scipy.linalg.lu_solve(lu_t, system.C.T @ a)
+    a = solve_t(e_o)
+    c = solve_t(np.asarray(system.C.T @ a).ravel())
 
     # T_D = -m0/swing where swing = e_o^T x_inf also depends on G:
     # d(swing) = -(a^T dG x_inf).  Assemble the full quotient rule.

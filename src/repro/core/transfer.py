@@ -60,7 +60,7 @@ def transfer_moments(
         raise ApproximationError("transfer to ground is identically zero")
     row = system.index.node(name)
     column = system.index.source(source)
-    rhs = system.B[:, column].copy()
+    rhs = system.b_column(column)
     if system.floating_groups and expansion_point == 0.0:
         injection = system.group_injection(
             np.eye(system.index.source_count)[column]
@@ -80,10 +80,22 @@ def transfer_moments(
             )
         import scipy.linalg
 
-        shifted = scipy.linalg.lu_factor(system.G + expansion_point * system.C)
+        if system.use_sparse:
+            import scipy.sparse
+            import scipy.sparse.linalg
 
-        def solve(vector):
-            return scipy.linalg.lu_solve(shifted, vector)
+            solve = scipy.sparse.linalg.splu(
+                scipy.sparse.csc_matrix(
+                    system.G + expansion_point * system.C
+                )
+            ).solve
+        else:
+            shifted = scipy.linalg.lu_factor(
+                system.G + expansion_point * system.C
+            )
+
+            def solve(vector):
+                return scipy.linalg.lu_solve(shifted, vector)
 
     moments = np.empty(count)
     vector = solve(rhs)
@@ -232,21 +244,23 @@ def exact_frequency_response(
     name = canonical_node(node)
     row = system.index.node(name)
     column = system.index.source(source)
-    rhs = system.B[:, column]
+    # Dense brute-force reference: pull dense views regardless of backend.
+    rhs = system.b_column(column)
     omegas = np.asarray(omegas, dtype=float)
     values = np.empty(omegas.shape, dtype=complex)
-    C_effective = system.C
+    C_effective = system.C_dense
     full_rhs = rhs
     if system.charge_rows:
         # Charge-augmented rows already carry the (frequency-independent)
         # total-charge equation ΣC·X = 0 — the s-divided form of the
         # replaced KCL row.  The storage matrix must not re-add s-terms on
         # those rows, and their RHS is zero.
-        C_effective = system.C.copy()
+        C_effective = C_effective.copy()
         C_effective[list(system.charge_rows), :] = 0.0
         full_rhs = rhs.copy()
         full_rhs[list(system.charge_rows)] = 0.0
+    G_aug = system.G_aug_dense
     for i, omega in enumerate(omegas):
-        matrix = system.G_aug + 1j * omega * C_effective
+        matrix = G_aug + 1j * omega * C_effective
         values[i] = np.linalg.solve(matrix, full_rhs)[row]
     return values

@@ -47,6 +47,7 @@ from repro.circuit.netlist import Circuit
 from repro.core.driver import AweAnalyzer, AweResponse
 from repro.errors import BatchTimeoutError, CircuitError, WorkerCrashError
 from repro.instrumentation import SolverStats
+from repro.reduce import reduce_circuit
 from repro.trace import Tracer
 
 
@@ -71,6 +72,11 @@ class AweJob:
     response_options:
         Extra keyword arguments for :meth:`AweAnalyzer.response`
         (``stabilize``, ``match_initial_slope``, ...).
+    reduce:
+        Collapse series RC chains (:func:`repro.reduce.reduce_circuit`)
+        before analysis, keeping this job's output nodes as taps.  Jobs
+        that share a circuit share one reduced copy (reduced with the
+        union of their taps), so analyzer reuse is preserved.
     """
 
     circuit: Circuit
@@ -81,6 +87,7 @@ class AweJob:
     max_order: int = 8
     label: str = ""
     response_options: dict = dataclasses.field(default_factory=dict)
+    reduce: bool = False
 
     def __post_init__(self):
         nodes = (self.nodes,) if isinstance(self.nodes, str) else tuple(self.nodes)
@@ -354,6 +361,7 @@ class BatchEngine:
             return []
         workers = self.workers if workers is None else workers
         timeout = self.timeout if timeout is None else timeout
+        jobs = self._apply_reduction(jobs)
 
         start = time.perf_counter()
         groups = self._group_by_circuit(jobs)
@@ -395,6 +403,36 @@ class BatchEngine:
         self._solver_stats.reset()
 
     # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _apply_reduction(jobs):
+        """Pre-reduce the circuits of ``reduce=True`` jobs.
+
+        Reduction runs once per distinct circuit object with the union
+        of those jobs' output nodes as taps, and every such job is
+        rewritten onto the *same* reduced circuit — so
+        :meth:`_group_by_circuit`'s identity grouping (and therefore
+        analyzer reuse and once-per-task pickling) still applies after
+        reduction.  A no-op reduction keeps the original object.
+        """
+        if not any(job.reduce for job in jobs):
+            return jobs
+        taps: dict[int, tuple[Circuit, set]] = {}
+        for job in jobs:
+            if job.reduce:
+                circuit, nodes = taps.setdefault(id(job.circuit),
+                                                 (job.circuit, set()))
+                nodes.update(job.nodes)
+        reduced = {
+            key: reduce_circuit(circuit, keep=tuple(sorted(nodes))).circuit
+            for key, (circuit, nodes) in taps.items()
+        }
+        return [
+            dataclasses.replace(
+                job, circuit=reduced[id(job.circuit)], reduce=False)
+            if job.reduce else job
+            for job in jobs
+        ]
 
     @staticmethod
     def _group_by_circuit(jobs):

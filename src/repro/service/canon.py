@@ -27,7 +27,9 @@ from repro.circuit.writer import write_netlist
 
 #: Version tag mixed into every key; bump when the canonical form or the
 #: report schema changes so stale persisted entries can never be served.
-KEY_SCHEMA = "repro.analysis-request/1"
+#: /2: the ``reduce`` field joined the payload — a reduced and an
+#: unreduced run of the same deck are different documents.
+KEY_SCHEMA = "repro.analysis-request/2"
 
 #: Same role for ``POST /sta`` requests (STA report schema + canonical
 #: design form).
@@ -52,6 +54,7 @@ def request_key(
     error_target: float = 0.01,
     max_order: int = 8,
     threshold: float | None = None,
+    reduce: bool = False,
 ) -> str:
     """Content address of one analysis request (SHA-256 hex digest).
 
@@ -59,7 +62,10 @@ def request_key(
     that order, so reordered nodes are a genuinely different document.
     With a fixed ``order`` the error target is irrelevant to the result
     and is normalised out, so ``order=2`` requests share an entry no
-    matter what target they also carried.
+    matter what target they also carried.  ``reduce`` is the *effective*
+    RC-chain pre-reduction setting (request field or server default,
+    already resolved): reduced results approximate higher moments, so
+    they must never be served for an unreduced request or vice versa.
     """
     payload = {
         "schema": KEY_SCHEMA,
@@ -69,6 +75,7 @@ def request_key(
         "error_target": None if order is not None else float(error_target),
         "max_order": int(max_order),
         "threshold": None if threshold is None else float(threshold),
+        "reduce": bool(reduce),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

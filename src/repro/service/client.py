@@ -186,15 +186,18 @@ class AnalysisClient:
         max_order: int | None = None,
         threshold: float | None = None,
         timeout: float | None = None,
+        reduce: bool | None = None,
     ) -> AnalyzeOutcome:
         """Submit one deck for analysis and return the run report.
 
         ``deck`` is netlist text (use :func:`analyze_file` for a path);
         ``nodes`` one name or a list.  The remaining parameters mirror
         ``python -m repro report``; ``timeout`` is the server-side
-        per-request budget in seconds.  Transient failures are retried
-        (see the class docstring); the request is idempotent server-side
-        so a retry can never double-compute a cached result.
+        per-request budget in seconds; ``reduce`` asks the server to
+        collapse series RC chains first (``None`` defers to the server's
+        default).  Transient failures are retried (see the class
+        docstring); the request is idempotent server-side so a retry can
+        never double-compute a cached result.
         """
         payload: dict = {
             "deck": deck,
@@ -202,7 +205,7 @@ class AnalysisClient:
         }
         for name, value in (("order", order), ("error_target", error_target),
                             ("max_order", max_order), ("threshold", threshold),
-                            ("timeout", timeout)):
+                            ("timeout", timeout), ("reduce", reduce)):
             if value is not None:
                 payload[name] = value
         status, body, headers = self._request(

@@ -143,7 +143,7 @@ def _parse_request(raw: bytes) -> dict:
         raise ValueError("request body must be a JSON object")
     unknown = set(payload) - {
         "deck", "nodes", "order", "error_target", "max_order", "threshold",
-        "timeout",
+        "timeout", "reduce",
     }
     if unknown:
         raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
@@ -171,6 +171,10 @@ def _parse_request(raw: bytes) -> dict:
             raise ValueError(f"'{name}' must be >= {minimum}")
         return value
 
+    reduce = payload.get("reduce")
+    if reduce is not None and not isinstance(reduce, bool):
+        raise ValueError("'reduce' must be a boolean")
+
     return {
         "deck": deck,
         "nodes": tuple(nodes),
@@ -179,6 +183,10 @@ def _parse_request(raw: bytes) -> dict:
         "max_order": number("max_order", default=8, integer=True, minimum=1),
         "threshold": number("threshold"),
         "timeout": number("timeout", minimum=0.0),
+        # None = "request didn't say": the service substitutes its
+        # default_reduce before hashing, so the cache key always reflects
+        # what actually ran.
+        "reduce": reduce,
     }
 
 
@@ -275,13 +283,19 @@ class AnalysisService:
     degraded_threshold:
         Consecutive worker-crash requests that flip the service into the
         degraded (shed-load) state; the first clean request clears it.
+    default_reduce:
+        RC-chain pre-reduction (:func:`repro.reduce.reduce_circuit`) for
+        requests whose ``reduce`` field is absent; an explicit request
+        field always wins.  The *effective* setting is part of the cache
+        key, so flipping the default can never serve a stale entry.
     """
 
     def __init__(self, workers: int = 2, queue_size: int = 16,
                  cache: ResultCache | None = None,
                  timeout: float | None = None,
                  engine_workers: int = 1,
-                 degraded_threshold: int = 3):
+                 degraded_threshold: int = 3,
+                 default_reduce: bool = False):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         if queue_size < 1:
@@ -294,6 +308,7 @@ class AnalysisService:
                 f"degraded_threshold must be >= 1, got {degraded_threshold!r}")
         self.workers = workers
         self.timeout = timeout
+        self.default_reduce = default_reduce
         self.engine_workers = engine_workers
         self.degraded_threshold = degraded_threshold
         self.cache = cache if cache is not None else ResultCache()
@@ -400,12 +415,15 @@ class AnalysisService:
             else:
                 params = _parse_request(raw_body)
                 deck = parse_netlist(params["deck"])
+                if params["reduce"] is None:
+                    params["reduce"] = self.default_reduce
                 key = request_key(
                     deck.circuit, deck.stimuli, params["nodes"],
                     order=params["order"],
                     error_target=params["error_target"],
                     max_order=params["max_order"],
                     threshold=params["threshold"],
+                    reduce=params["reduce"],
                 )
                 label = deck.title or "deck"
         except (ValueError, ReproError) as exc:
@@ -602,6 +620,7 @@ class AnalysisService:
                 error_target=params["error_target"],
                 max_order=params["max_order"],
                 label=pending.label,
+                reduce=params["reduce"],
             )
             stats_before = engine.stats()
             results = engine.run([job], trace=True, timeout=remaining)
@@ -869,6 +888,7 @@ class ServiceServer:
 def serve(host: str = "127.0.0.1", port: int = 8040, *, workers: int = 2,
           queue_size: int = 16, cache_bytes: int = 64 * 1024 * 1024,
           cache_dir: str | None = None, timeout: float | None = None,
+          default_reduce: bool = False,
           engine_workers: int = 1, degraded_threshold: int = 3,
           fault_spec: str | None = None, fault_seed: int = 0,
           announce=None) -> int:
@@ -885,6 +905,7 @@ def serve(host: str = "127.0.0.1", port: int = 8040, *, workers: int = 2,
     cache = ResultCache(max_bytes=cache_bytes, directory=cache_dir)
     service = AnalysisService(workers=workers, queue_size=queue_size,
                               cache=cache, timeout=timeout,
+                              default_reduce=default_reduce,
                               engine_workers=engine_workers,
                               degraded_threshold=degraded_threshold)
     server = ServiceServer(host=host, port=port, service=service)

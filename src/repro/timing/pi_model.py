@@ -47,7 +47,7 @@ def driving_point_moments(
     """
     row = system.index.current(source)
     column = system.index.source(source)
-    rhs = system.B[:, column].copy()
+    rhs = system.b_column(column)
     moments = np.empty(count)
     vector = system.solve_augmented(rhs)
     moments[0] = -vector[row]

@@ -17,7 +17,9 @@ import pytest
 
 from repro import AweAnalyzer, MnaSystem, Step
 from repro.analysis.mna import _SPARSE_THRESHOLD
+from repro.core.transfer import transfer_moments
 from repro.papercircuits import rc_ladder
+from repro.reduce import reduce_circuit
 from repro.trace import Tracer, iter_events
 
 BOUNDARY_SECTIONS = (189, 190, 191)  # dims 191, 192, 193
@@ -64,6 +66,38 @@ def test_solve_augmented_parity_across_backends(sections):
     x_sparse = sparse.solve_augmented(rhs_block)
     scale = np.max(np.abs(x_dense)) or 1.0
     assert np.max(np.abs(x_dense - x_sparse)) / scale < 1e-9
+
+
+@pytest.mark.parametrize("sections", BOUNDARY_SECTIONS)
+def test_reduced_parity_straddling_the_threshold(sections):
+    """Pre-reduction composes with either backend at the boundary dims.
+
+    The reduced ladder drops far below the threshold (so it runs dense)
+    while the unreduced one straddles it — the comparison therefore
+    crosses both the reduction and the backend fork.  DC gain and the
+    Elmore moment must survive exactly; the waveform and delay to the
+    documented uniform-chain bound.
+    """
+    circuit = rc_ladder(sections)
+    stimuli = {"Vin": Step(0.0, 1.0)}
+    node = str(sections)
+    reduction = reduce_circuit(circuit, keep=(node,))
+    assert reduction.reduced
+    assert reduction.reduced_node_count < reduction.original_node_count / 4
+
+    m_full = transfer_moments(MnaSystem(circuit), "Vin", node, 2)
+    m_reduced = transfer_moments(MnaSystem(reduction.circuit), "Vin", node, 2)
+    assert np.allclose(m_reduced, m_full, rtol=1e-9)
+
+    for forced in (False, True):
+        base = AweAnalyzer(circuit, stimuli, sparse=forced).response(node)
+        reduced = AweAnalyzer(reduction.circuit, stimuli).response(node)
+        times = np.linspace(0.0, base.waveform.suggested_window(), 400)
+        v_base = base.waveform.evaluate(times)
+        v_reduced = reduced.waveform.evaluate(times)
+        swing = np.max(np.abs(v_base))
+        assert np.max(np.abs(v_reduced - v_base)) < 0.02 * swing
+        assert reduced.delay_50() == pytest.approx(base.delay_50(), rel=0.01)
 
 
 def test_awe_waveform_parity_at_the_threshold_dimension():

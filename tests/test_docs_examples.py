@@ -42,6 +42,7 @@ def test_documents_are_discovered():
     names = {path.name for path in DOC_FILES}
     assert "observability.md" in names
     assert "api.md" in names
+    assert "scaling.md" in names
     assert "README.md" in names
 
 

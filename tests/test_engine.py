@@ -148,9 +148,12 @@ class TestFailureIsolation:
 
 class TestTimeout:
     def test_per_job_timeout_becomes_failure_record(self):
-        big = rc_mesh(20, 20)  # ~400 unknowns: analysis takes ≫ 20 ms
+        # ~3600 unknowns: analysis takes ≫ 20 ms even on the sparse
+        # backend (the old 20x20 mesh dipped under the deadline once
+        # stamping went sparse).
+        big = rc_mesh(60, 60)
         fast = AweJob(random_rc_tree(4, seed=0), ("4",), stimuli=STIM, order=1)
-        slow = AweJob(big, ("n19_19",), stimuli=STIM, order=4)
+        slow = AweJob(big, ("n59_59",), stimuli=STIM, order=4)
         results = BatchEngine().run([slow, fast], timeout=0.02)
         assert not results[0].ok
         assert results[0].error_type == "BatchTimeoutError"
@@ -159,9 +162,9 @@ class TestTimeout:
         assert results[1].ok
 
     def test_timeout_in_process_pool(self):
-        big = rc_mesh(20, 20)
+        big = rc_mesh(60, 60)
         results = BatchEngine(workers=2).run(
-            [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=0.02
+            [AweJob(big, ("n59_59",), stimuli=STIM, order=4)], timeout=0.02
         )
         assert not results[0].ok
         assert results[0].error_type == "BatchTimeoutError"
@@ -189,9 +192,9 @@ class TestTimeout:
         import signal
 
         before_handler = signal.getsignal(signal.SIGALRM)
-        big = rc_mesh(20, 20)
+        big = rc_mesh(60, 60)
         results = BatchEngine().run(
-            [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=0.02
+            [AweJob(big, ("n59_59",), stimuli=STIM, order=4)], timeout=0.02
         )
         assert not results[0].ok
         assert signal.getsignal(signal.SIGALRM) is before_handler
@@ -225,13 +228,13 @@ class TestTimeout:
         seen = []
         before = signal.getsignal(signal.SIGTERM)
         signal.signal(signal.SIGTERM, lambda signum, frame: seen.append(signum))
-        big = rc_mesh(20, 20)
+        big = rc_mesh(60, 60)
         killer = threading.Timer(
             0.02, os.kill, args=(os.getpid(), signal.SIGTERM))
         try:
             killer.start()
             results = BatchEngine().run(
-                [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=30.0
+                [AweJob(big, ("n59_59",), stimuli=STIM, order=4)], timeout=30.0
             )
         finally:
             killer.join()
@@ -240,7 +243,7 @@ class TestTimeout:
         assert results[0].ok, results[0].error
         # The deadline machinery is intact after the interruption.
         late = BatchEngine().run(
-            [AweJob(big, ("n19_19",), stimuli=STIM, order=4)], timeout=0.02
+            [AweJob(big, ("n59_59",), stimuli=STIM, order=4)], timeout=0.02
         )
         assert late[0].error_type == "BatchTimeoutError"
 
