@@ -63,6 +63,21 @@ Installed as ``python -m repro``.  The subcommands:
     Client for a running daemon: send one deck to ``--server URL`` and
     print the timing table (or the raw run-report JSON with ``--json``).
 
+``gateway``
+    Run the sharded async gateway: an asyncio front end that spawns N
+    single-engine ``serve`` children and routes ``/analyze`` / ``/sta``
+    requests to them by canonical cache key, with a gateway-tier result
+    cache, in-flight request coalescing, per-shard health with
+    shed-load, and graceful drain.  Speaks the same protocol as
+    ``serve``, so ``analyze --server`` and ``loadgen`` work against
+    either.  See ``docs/service.md``.
+
+``loadgen``
+    Drive a seeded, replayable request mix against a daemon or gateway
+    at fixed concurrency and print p50/p99 latency, RPS, cache hits,
+    and failures (JSON with ``--json``) — the measurement harness
+    behind ``BENCH_scaling.json``'s ``gateway_scaling`` entry.
+
 Examples::
 
     python -m repro report net.sp --node out --target 0.01 --threshold 2.5
@@ -74,6 +89,8 @@ Examples::
     python -m repro sta design.json --k 5 --corner slow:wire_r=1.5,cell=1.3
     python -m repro serve --port 8040 --workers 4 --cache-dir /var/cache/repro
     python -m repro analyze net.sp --server http://127.0.0.1:8040 --node out
+    python -m repro gateway --port 8050 --shards 4 --cache-dir /var/cache/repro
+    python -m repro loadgen --server http://127.0.0.1:8050 --mix hot --requests 128
 """
 
 from __future__ import annotations
@@ -289,6 +306,73 @@ def build_parser() -> argparse.ArgumentParser:
                               "(429/503/connection errors; default 2)")
     analyze.add_argument("--json", metavar="PATH",
                          help="write the raw run-report JSON here; '-' = stdout")
+
+    gateway = commands.add_parser(
+        "gateway",
+        help="run the sharded async gateway over N serve children "
+             "(docs/service.md)",
+    )
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8050,
+                         help="listening port; 0 picks a free one "
+                              "(default 8050)")
+    gateway.add_argument("--shards", type=int, default=4,
+                         help="single-engine worker daemons to spawn "
+                              "(default 4)")
+    gateway.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                         help="gateway-tier in-memory result-cache budget "
+                              "(default 64 MiB)")
+    gateway.add_argument("--cache-dir", metavar="PATH",
+                         help="shared disk cache directory — the gateway "
+                              "and every shard write through to it")
+    gateway.add_argument("--timeout", type=float,
+                         help="default per-request wall-clock budget in "
+                              "seconds")
+    gateway.add_argument("--degraded-threshold", type=int, default=3,
+                         help="consecutive forward failures before a shard "
+                              "is shed (default 3)")
+    gateway.add_argument("--reduce", action="store_true",
+                         help="collapse series RC chains by default (the "
+                              "shards inherit the setting)")
+    gateway.add_argument("--shard-engine-workers", type=int, default=1,
+                         help="process-pool width inside each shard "
+                              "(default 1)")
+    gateway.add_argument("--shard-queue-size", type=int, default=64,
+                         help="admission bound of each shard daemon "
+                              "(default 64)")
+    gateway.add_argument("--faults", metavar="SPEC",
+                         help="install a fault plan in the gateway process, "
+                              "e.g. 'shard_crash=1:x3' (testing only)")
+    gateway.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the fault plan (default 0)")
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a seeded request mix against a daemon or gateway",
+    )
+    loadgen.add_argument("--server", required=True, metavar="URL",
+                         help="target base URL (daemon or gateway)")
+    loadgen.add_argument("--mix", choices=["miss", "hot", "mixed"],
+                         default="miss",
+                         help="request mix: distinct decks (miss), rounds "
+                              "of identical decks (hot), or alternating "
+                              "(mixed; default miss)")
+    loadgen.add_argument("--requests", type=int, default=64,
+                         help="total requests to send (default 64)")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="worker threads / herd width (default 8)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="mix seed — same seed, same byte-identical "
+                              "request stream (default 0)")
+    loadgen.add_argument("--sections", type=int, default=4,
+                         help="RC-ladder sections per generated deck "
+                              "(default 4; more = heavier requests)")
+    loadgen.add_argument("--retries", type=int, default=2,
+                         help="client retries for transient failures "
+                              "(default 2)")
+    loadgen.add_argument("--json", metavar="PATH",
+                         help="write the measurement document here; "
+                              "'-' = stdout")
     return parser
 
 
@@ -758,6 +842,76 @@ def cmd_analyze(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_gateway(args) -> int:
+    from repro.gateway import serve_gateway
+
+    def announce(server):
+        # Same parseable shape as serve's announce line, s/service/gateway/.
+        print(f"repro gateway listening on {server.url}", flush=True)
+        shard_urls = " ".join(
+            shard.url for shard in server.service.shards)
+        print(f"  shards={args.shards} cache_bytes={args.cache_bytes}"
+              + (f" cache_dir={args.cache_dir}" if args.cache_dir else "")
+              + (f" faults={args.faults!r}" if args.faults else ""),
+              flush=True)
+        print(f"  shard urls: {shard_urls}", flush=True)
+
+    return serve_gateway(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        cache_bytes=args.cache_bytes,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        degraded_threshold=args.degraded_threshold,
+        default_reduce=args.reduce,
+        shard_engine_workers=args.shard_engine_workers,
+        shard_queue_size=args.shard_queue_size,
+        fault_spec=args.faults,
+        fault_seed=args.fault_seed,
+        announce=announce,
+    )
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from repro.gateway import build_mix, coalesced_delta, run_loadgen
+    from repro.service import AnalysisClient, ServiceError
+
+    payloads = build_mix(args.mix, args.requests,
+                         concurrency=args.concurrency, seed=args.seed,
+                         sections=args.sections)
+    probe = AnalysisClient(args.server, retries=0)
+    try:
+        before = probe.metrics()
+    except (ServiceError, OSError) as exc:
+        print(f"error: cannot reach {args.server}: {exc}", file=sys.stderr)
+        return 2
+    document = run_loadgen(args.server, payloads,
+                           concurrency=args.concurrency,
+                           retries=args.retries)
+    document["mix"] = args.mix
+    document["seed"] = args.seed
+    document["coalesced"] = coalesced_delta(before, probe.metrics())
+
+    if args.json is not None:
+        _write_text(args.json, json.dumps(document, indent=2,
+                                          sort_keys=True) + "\n")
+    out = sys.stderr if args.json == "-" else sys.stdout
+    print(f"loadgen: {document['requests']} request(s) "
+          f"[{args.mix}] x{args.concurrency} against {args.server}", file=out)
+    print(f"  {document['rps']:.1f} RPS, p50 {document['p50_ms']:.2f} ms, "
+          f"p99 {document['p99_ms']:.2f} ms, "
+          f"{document['cache_hits']} cache hit(s), "
+          f"{document['coalesced']} coalesced, "
+          f"{document['failed']} failure(s)", file=out)
+    for failure in document["failures"][:5]:
+        print(f"  FAIL request {failure['index']}: {failure['error']}",
+              file=out)
+    return 1 if document["failed"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -771,6 +925,8 @@ def main(argv: list[str] | None = None) -> int:
         "sta": cmd_sta,
         "serve": cmd_serve,
         "analyze": cmd_analyze,
+        "gateway": cmd_gateway,
+        "loadgen": cmd_loadgen,
     }
     try:
         return handlers[args.command](args)

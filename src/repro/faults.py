@@ -39,6 +39,9 @@ Probe names the stack hooks today (see the call sites):
 ``http_timeout``     the server sleeps ``arg`` seconds (default 1.0)
                      before handling — long enough to trip a client
                      socket timeout when ``arg`` exceeds it
+``shard_crash``      the gateway hard-kills the target shard process
+                     (``SIGKILL``) just before forwarding a request to
+                     it, exercising the respawn-and-retry path
 ===================  ====================================================
 
 Spec grammar: comma-separated ``name=rate`` terms, each optionally
@@ -77,6 +80,7 @@ KNOWN_PROBES = frozenset({
     "http_429",
     "http_503",
     "http_timeout",
+    "shard_crash",
 })
 
 

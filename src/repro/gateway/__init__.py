@@ -1,0 +1,48 @@
+"""Sharded async gateway: a key-routed scale-out front end for the
+analysis service.
+
+One daemon (:mod:`repro.service`) is one engine pool and one cache.
+This package puts an asyncio front door over N of them:
+
+* :mod:`repro.gateway.routing` — key-affinity placement: requests are
+  routed by the same canonical SHA-256 request key that names their
+  cache entry, so shard memory caches partition the key space with zero
+  duplication and routing is stable across every restart;
+* :mod:`repro.gateway.shards` — shard-process lifecycle: spawn
+  ``repro serve`` children on ephemeral ports, kill and respawn them
+  (the self-healing path), or attach to externally managed daemons;
+* :mod:`repro.gateway.server` — the gateway itself:
+  :class:`GatewayService` (two-tier cache, in-flight request
+  coalescing, per-shard health with shed-load, graceful drain) behind
+  :class:`GatewayServer`'s asyncio HTTP face — the same JSON protocol
+  as the daemon, so :class:`~repro.service.client.AnalysisClient`
+  works unchanged;
+* :mod:`repro.gateway.loadgen` — ``repro loadgen``: seeded,
+  replayable request mixes at fixed concurrency, measuring
+  p50/p99/RPS (feeds ``BENCH_scaling.json`` ``gateway_scaling``).
+
+Topology, coalescing semantics, and drain behaviour are documented in
+``docs/service.md``; the API in ``docs/api.md``.
+"""
+
+from repro.gateway.loadgen import (MIXES, build_mix, coalesced_delta,
+                                   run_loadgen, seeded_chain_deck)
+from repro.gateway.routing import shard_for_key
+from repro.gateway.server import (FORWARD_ATTEMPTS, GatewayServer,
+                                  GatewayService, serve_gateway)
+from repro.gateway.shards import AttachedShard, ShardProcess
+
+__all__ = [
+    "FORWARD_ATTEMPTS",
+    "MIXES",
+    "AttachedShard",
+    "GatewayServer",
+    "GatewayService",
+    "ShardProcess",
+    "build_mix",
+    "coalesced_delta",
+    "run_loadgen",
+    "seeded_chain_deck",
+    "serve_gateway",
+    "shard_for_key",
+]

@@ -1,0 +1,49 @@
+"""Key-affinity routing: which shard owns a canonical request key.
+
+The gateway's whole sharding story rests on one property: the request
+key (:func:`repro.service.canon.request_key` /
+:func:`~repro.service.canon.sta_request_key`) is a SHA-256 content
+address, so its hex digits are already uniformly distributed and *stable
+across processes and restarts* — no extra hashing, no coordination, no
+rendezvous table.  Taking the top 64 bits modulo the shard count gives a
+placement that
+
+* every gateway replica computes identically (scale the front end
+  without a shared routing table),
+* survives gateway restarts (a key lands on the same shard tomorrow, so
+  that shard's in-memory LRU stays the authority for it), and
+* keeps each shard's working set disjoint — N shards means N times the
+  aggregate memory-cache capacity with zero duplication, the "two-tier"
+  half of the design.
+
+Changing the shard count remaps ~(1 - 1/N) of keys, like any modulo
+scheme; the shared disk tier (one ``--cache-dir`` under every shard)
+absorbs the resulting misses, so resizing costs latency, not work.
+"""
+
+from __future__ import annotations
+
+#: Hex digits of the key consumed by the placement decision (64 bits —
+#: far beyond any plausible shard count, so the modulo is unbiased for
+#: every N that fits in memory).
+_PREFIX_HEX = 16
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """The shard index owning ``key`` (a canonical request-key hex digest).
+
+    Pure and deterministic: same key + same shard count → same index, in
+    any process, forever.  Raises :class:`ValueError` for a non-positive
+    shard count or a key that is not hex.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    try:
+        prefix = int(key[:_PREFIX_HEX], 16)
+    except (ValueError, TypeError):
+        raise ValueError(
+            f"request keys are hex digests, got {key!r}") from None
+    return prefix % shards
+
+
+__all__ = ["shard_for_key"]

@@ -33,7 +33,13 @@ import os
 import threading
 
 from repro import faults
-from repro.report import REPORT_SCHEMA
+from repro.report import REPORT_SCHEMA, STA_REPORT_SCHEMA
+
+#: Disk entries are re-validated on load; both document kinds the
+#: service caches are legitimate.  (Accepting only run-reports silently
+#: discarded persisted /sta bodies as "corrupt" — a restart lost every
+#: warm STA entry.)
+_DISK_SCHEMAS = frozenset({REPORT_SCHEMA, STA_REPORT_SCHEMA})
 
 
 class ResultCache:
@@ -188,7 +194,7 @@ class ResultCache:
             return None
         try:
             document = json.loads(body)
-            if document.get("schema") != REPORT_SCHEMA:
+            if document.get("schema") not in _DISK_SCHEMAS:
                 raise ValueError(f"wrong schema: {document.get('schema')!r}")
         except (ValueError, AttributeError):
             # A truncated write or a stale schema: drop the file so the

@@ -73,6 +73,7 @@ from repro.report import (
     validate_report,
     validate_sta_report,
 )
+from repro.reduce import REDUCTION_MEMO
 from repro.service.cache import ResultCache
 from repro.service.canon import request_key, sta_request_key
 from repro.sta import (
@@ -257,6 +258,14 @@ def _parse_sta_request(raw: bytes) -> dict:
     }
 
 
+#: Public names for the request parsers: the gateway validates and
+#: content-addresses a body *before* choosing a shard, and routing must
+#: agree with the daemon about what a request means — one parser, two
+#: callers, zero drift.
+parse_analyze_request = _parse_request
+parse_sta_request = _parse_sta_request
+
+
 class AnalysisService:
     """The daemon's core, independent of HTTP: cache + queue + workers.
 
@@ -319,7 +328,12 @@ class AnalysisService:
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._in_flight = 0
-        self._avg_job_s = 0.05  # EWMA of job wall time, seeds Retry-After
+        # Per-endpoint EWMAs of job wall time, seeding Retry-After: /sta
+        # freezes a whole timing DAG while /analyze runs one deck, so one
+        # shared average would let a burst of either skew the other's
+        # hint (an STA-heavy minute would tell analyze clients to back
+        # off 10x too long, and vice versa).
+        self._avg_job_s = {"analyze": 0.05, "sta": 0.05}
         self._started_at = time.monotonic()
         self._degraded = False
         self._consecutive_crashes = 0
@@ -457,7 +471,7 @@ class AnalysisService:
             # a request hanging behind a crashing pool.
             if self._degraded and self._in_flight >= 1:
                 self._counters["rejected_degraded"] += 1
-                retry_after = max(1, math.ceil(self._avg_job_s * 2))
+                retry_after = max(1, math.ceil(self._avg_job_s[kind] * 2))
                 return 503, _error_body(
                     503, "service is degraded after repeated worker "
                          "crashes; shedding load while one canary "
@@ -470,7 +484,8 @@ class AnalysisService:
             except queue_module.Full:
                 self._counters["rejected_queue_full"] += 1
                 retry_after = max(
-                    1, math.ceil(self._avg_job_s * (self._queue.qsize() + 1)))
+                    1, math.ceil(self._avg_job_s[kind]
+                                 * (self._queue.qsize() + 1)))
                 return 429, _error_body(
                     429, "analysis queue is full; retry later"), {
                     "Retry-After": str(retry_after)}
@@ -562,7 +577,11 @@ class AnalysisService:
             in_flight = self._in_flight
             degraded = self._degraded
             consecutive = self._consecutive_crashes
+            avg_job_s = dict(self._avg_job_s)
         document = {
+            "avg_job_s": {kind: round(value, 6)
+                          for kind, value in avg_job_s.items()},
+            "reduction_memo": REDUCTION_MEMO.stats(),
             "uptime_s": round(time.monotonic() - self._started_at, 6),
             "workers": self.workers,
             "engine_workers": self.engine_workers,
@@ -612,15 +631,25 @@ class AnalysisService:
         started = time.monotonic()
         params = pending.params
         try:
+            # Reduction goes through the content-keyed memo rather than
+            # the job's own reduce flag: every service request re-parses
+            # its deck into a fresh Circuit, so the engine's per-object
+            # sharing never triggers here — the memo makes repeated
+            # reductions of one topology (same canonical key, any textual
+            # spelling) pay the pure-Python chain collapse once.
+            circuit = pending.deck.circuit
+            if params["reduce"]:
+                circuit = REDUCTION_MEMO.reduce(circuit,
+                                                keep=params["nodes"])
             job = AweJob(
-                pending.deck.circuit,
+                circuit,
                 params["nodes"],
                 stimuli=pending.deck.stimuli,
                 order=params["order"],
                 error_target=params["error_target"],
                 max_order=params["max_order"],
                 label=pending.label,
-                reduce=params["reduce"],
+                reduce=False,
             )
             stats_before = engine.stats()
             results = engine.run([job], trace=True, timeout=remaining)
@@ -651,7 +680,8 @@ class AnalysisService:
         with self._lock:
             self._counters["requests_ok" if ok else "requests_failed"] += 1
             elapsed = time.monotonic() - started
-            self._avg_job_s += 0.3 * (elapsed - self._avg_job_s)
+            self._avg_job_s["analyze"] += (
+                0.3 * (elapsed - self._avg_job_s["analyze"]))
             # Worker-death bookkeeping: a request whose jobs were lost
             # even after the engine's pool rebuild counts toward the
             # degraded threshold; any request that comes back without a
@@ -710,7 +740,8 @@ class AnalysisService:
         with self._lock:
             self._counters["requests_ok"] += 1
             elapsed = time.monotonic() - started
-            self._avg_job_s += 0.3 * (elapsed - self._avg_job_s)
+            self._avg_job_s["sta"] += (
+                0.3 * (elapsed - self._avg_job_s["sta"]))
         self._finish(pending, 200, body)
 
     @staticmethod

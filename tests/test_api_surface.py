@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.papercircuits",
     "repro.trace",
     "repro.report",
+    "repro.service",
+    "repro.gateway",
 ]
 
 
@@ -90,7 +92,8 @@ def test_cli_parser_builds():
     from repro.cli import build_parser
 
     parser = build_parser()
-    commands = {"report", "poles", "simulate", "sensitivity"}
+    commands = {"report", "poles", "simulate", "sensitivity", "serve",
+                "analyze", "gateway", "loadgen"}
     # argparse stores subparsers internally; probing via parse of --help
     # would exit, so check the registered choices directly.
     subparsers = next(

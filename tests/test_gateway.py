@@ -1,0 +1,439 @@
+"""Tests for the sharded async gateway (`repro.gateway`).
+
+Three layers, mirroring the daemon's own suite: `GatewayService.submit`
+driven directly on an event loop (coalescing and shed-load need
+controlled concurrency), `GatewayServer` + the stock `AnalysisClient`
+over real HTTP against attached in-process daemons, and spawn mode with
+real `repro serve` child processes — including the worker-crash
+campaign the acceptance criterion names: injected shard kills, zero
+client-visible failures.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.gateway import (
+    FORWARD_ATTEMPTS,
+    GatewayServer,
+    GatewayService,
+    build_mix,
+    run_loadgen,
+    shard_for_key,
+)
+from repro.report import validate_report
+from repro.service import AnalysisClient, ServiceError, ServiceServer
+from repro.trace import Tracer, iter_events
+
+FAST_DECK = """\
+gateway fast deck
+Vin in 0 STEP(0 5)
+R1 in 1 1000
+C1 1 0 1p
+R2 1 2 2k
+C2 2 0 0.5p
+.end
+"""
+
+#: A deck slow enough (~100 ms) that concurrent identical requests
+#: genuinely overlap the leader's computation.
+SLOW_DECK = "slow chain\nVin in 0 STEP(0 5)\n" + "".join(
+    f"R{i} {'in' if i == 1 else f'n{i-1}'} n{i} 1k\nC{i} n{i} 0 1p\n"
+    for i in range(1, 60)
+) + ".end\n"
+
+
+def request_body(deck, nodes, **params):
+    return json.dumps({"deck": deck, "nodes": list(nodes), **params}).encode()
+
+
+def demo_design_dict(name="gw-demo"):
+    return {
+        "name": name,
+        "inputs": [{"name": "i1", "net": "n_in", "arrival": 0.0,
+                    "slew": 2e-11, "drive_resistance": 500.0}],
+        "outputs": [{"name": "o1", "net": "n_out", "required": 5e-10,
+                     "load": 4e-15}],
+        "instances": [{"name": "u1", "cell": "INV_X1",
+                       "connections": {"A": "n_in", "Y": "n_out"}}],
+        "nets": [
+            {"name": "n_in", "segments": []},
+            {"name": "n_out", "segments": [
+                {"a": "root", "b": "o1", "resistance": 200.0,
+                 "capacitance": 15e-15}]},
+        ],
+    }
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def daemons():
+    servers = [ServiceServer(port=0, workers=1).start() for _ in range(2)]
+    yield servers
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture
+def gateway(daemons):
+    server = GatewayServer(
+        shard_urls=[daemon.url for daemon in daemons]).start()
+    yield server
+    server.close()
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ----------------------------------------------------------------------
+# GatewayService on a controlled event loop
+# ----------------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_identical_concurrent_keys_run_exactly_one_engine_execution(
+            self, daemons):
+        """The tentpole invariant: a herd of identical requests costs one
+        analysis.  Asserted three independent ways — the shard's own
+        request/SolverStats counters, the gateway's coalescing counters,
+        and the trace events."""
+        herd = 8
+        tracer = Tracer(name="gateway-test")
+        target = daemons[0].service
+
+        async def main():
+            service = await GatewayService(
+                shard_urls=[daemons[0].url], tracer=tracer).start()
+            before = target.metrics()
+            body = request_body(SLOW_DECK, ["n59"])
+            results = await asyncio.gather(
+                *[service.submit(body) for _ in range(herd)])
+            after = target.metrics()
+            return service.metrics(), before, after, results
+
+        metrics, before, after, results = run_async(main())
+
+        # One engine execution: the daemon saw exactly one request, its
+        # cache missed exactly once, and the solver actually ran.
+        assert after["requests_total"] - before["requests_total"] == 1
+        assert after["cache_misses"] - before["cache_misses"] == 1
+        assert (after["solver"]["lu_factorizations"]
+                > before["solver"]["lu_factorizations"])
+
+        # Every requester got the same 200 body, fanned out.
+        statuses = [status for status, _, _ in results]
+        bodies = {body for _, body, _ in results}
+        assert statuses == [200] * herd
+        assert len(bodies) == 1
+        coalesced_headers = sorted(
+            headers["X-Repro-Coalesced"] for _, _, headers in results)
+        assert coalesced_headers == ["joined"] * (herd - 1) + ["leader"]
+
+        assert metrics["coalesced_requests"] == herd - 1
+        assert metrics["requests_ok"] == herd
+
+        events = [event["name"]
+                  for _span, event in iter_events(tracer.to_record())]
+        assert events.count("coalesce_join") == herd - 1
+        assert events.count("shard_route") == 1
+
+    def test_coalesced_result_lands_in_gateway_cache(self, daemons):
+        async def main():
+            service = await GatewayService(
+                shard_urls=[daemons[0].url]).start()
+            body = request_body(FAST_DECK, ["2"])
+            first = await service.submit(body)
+            second = await service.submit(body)
+            return first, second
+
+        (s1, b1, h1), (s2, b2, h2) = run_async(main())
+        assert s1 == s2 == 200
+        assert h1["X-Repro-Cache"] == "miss"
+        assert h2["X-Repro-Cache"] == "hit"
+        assert b1 == b2  # bit-identical through the gateway tier
+
+    def test_failed_reports_are_not_cached_by_gateway(self, daemons):
+        """A report whose jobs failed (here: an impossible per-request
+        timeout enforced by the shard) must stay a retryable miss."""
+        async def main():
+            service = await GatewayService(
+                shard_urls=[daemons[0].url]).start()
+            body = request_body(SLOW_DECK, ["n59"], timeout=1e-4)
+            first = await service.submit(body)
+            await service.wait_drained()
+            return first, service.cache.stats()
+
+        (status, body, _headers), cache_stats = run_async(main())
+        # The shard returns 504 (budget exceeded) — not 200 — so nothing
+        # may enter the gateway cache.
+        assert status in (200, 504)
+        if status == 200:
+            assert json.loads(body)["totals"]["jobs_failed"] > 0
+        assert cache_stats["cache_stores"] == 0
+
+
+class TestShedLoad:
+    def test_dead_shard_degrades_and_sheds_with_one_canary(self):
+        """Routing to a black-holed shard: after `degraded_threshold`
+        transport failures the shard sheds load — one canary probes,
+        the rest get an immediate 503 + Retry-After."""
+        dead = "http://127.0.0.1:9"  # discard port: connection refused
+
+        async def main():
+            service = await GatewayService(
+                shard_urls=[dead], degraded_threshold=1).start()
+            first = await service.submit(request_body(FAST_DECK, ["1"]))
+            herd = await asyncio.gather(*[
+                service.submit(request_body(FAST_DECK, ["2"], order=order))
+                for order in (1, 2, 3)
+            ])
+            return first, herd, service.metrics()
+
+        first, herd, metrics = run_async(main())
+        assert first[0] == 503
+        assert metrics["shard_health"][0]["degraded"]
+        statuses = sorted(status for status, _, _ in herd)
+        # One canary went through to fail on the wire; the others were
+        # shed instantly without touching the dead socket.
+        assert statuses == [503, 503, 503]
+        shed = [body for status, body, _ in herd
+                if b"shedding load" in body]
+        assert len(shed) >= 1
+        assert metrics["rejected_degraded"] >= 1
+        assert metrics["shard_errors"] >= FORWARD_ATTEMPTS
+
+    def test_recovery_clears_degraded(self, daemons):
+        """An attached shard that starts answering again clears the
+        degraded flag on the first clean response."""
+        async def main():
+            service = await GatewayService(
+                shard_urls=[daemons[0].url], degraded_threshold=1).start()
+            service._health[0]["degraded"] = True
+            service._health[0]["consecutive_errors"] = 3
+            status, _, _ = await service.submit(
+                request_body(FAST_DECK, ["1"]))
+            return status, service.metrics()
+
+        status, metrics = run_async(main())
+        assert status == 200
+        assert not metrics["shard_health"][0]["degraded"]
+        assert metrics["shard_health"][0]["consecutive_errors"] == 0
+
+
+class TestDrain:
+    def test_drain_refuses_new_work_but_serves_hits(self, daemons):
+        async def main():
+            service = await GatewayService(
+                shard_urls=[daemons[0].url]).start()
+            body = request_body(FAST_DECK, ["2"])
+            warm = await service.submit(body)
+            service.begin_drain()
+            hit = await service.submit(body)
+            refused = await service.submit(request_body(FAST_DECK, ["1"]))
+            await service.wait_drained()
+            return warm, hit, refused, service.healthz()
+
+        warm, hit, refused, (health_status, health_body) = run_async(main())
+        assert warm[0] == 200
+        assert hit[0] == 200 and hit[2]["X-Repro-Cache"] == "hit"
+        assert refused[0] == 503
+        assert b"draining" in refused[1]
+        assert health_status == 503
+        assert json.loads(health_body)["status"] == "draining"
+
+    def test_request_timeout_is_504(self, daemons):
+        async def main():
+            service = await GatewayService(
+                shard_urls=[daemons[0].url]).start()
+            status, body, _ = await service.submit(
+                request_body(SLOW_DECK, ["n59"], timeout=0.001))
+            await service.wait_drained()
+            return status, body, service.metrics()
+
+        status, body, metrics = run_async(main())
+        assert status == 504
+        assert b"budget" in body
+        assert metrics["request_timeouts"] >= 1
+
+
+class TestValidation:
+    def test_bad_json_is_400_without_touching_a_shard(self):
+        async def main():
+            service = await GatewayService(
+                shard_urls=["http://127.0.0.1:9"]).start()
+            return await service.submit(b"{not json"), service.metrics()
+
+        (status, body, _), metrics = run_async(main())
+        assert status == 400
+        assert "JSON" in json.loads(body)["error"]
+        assert metrics["bad_requests"] == 1
+        assert metrics["shard_errors"] == 0
+
+    def test_unparseable_deck_is_400(self):
+        async def main():
+            service = await GatewayService(
+                shard_urls=["http://127.0.0.1:9"]).start()
+            return await service.submit(
+                request_body("bad\nR1 lonely\n.end\n", ["1"]))
+
+        status, body, _ = run_async(main())
+        assert status == 400
+        assert json.loads(body)["error_type"] == "NetlistParseError"
+
+
+# ----------------------------------------------------------------------
+# GatewayServer over real HTTP, stock client
+# ----------------------------------------------------------------------
+
+
+class TestHttpSurface:
+    def test_analyze_round_trip_with_stock_client(self, gateway):
+        client = AnalysisClient(gateway.url)
+        cold = client.analyze(FAST_DECK, "2", threshold=2.5)
+        assert cold.ok and not cold.cached
+        validate_report(cold.document)
+
+        warm = client.analyze(FAST_DECK, "2", threshold=2.5)
+        assert warm.cached
+        assert warm.body == cold.body
+        assert warm.key == cold.key
+
+    def test_equivalent_decks_share_key_and_shard(self, gateway):
+        client = AnalysisClient(gateway.url)
+        variant = ("* regenerated\n"
+                   + FAST_DECK.replace("R2 1 2 2k", "R2  1  2  2000"))
+        # Raw submits so the shard header is visible.
+        import urllib.request
+        responses = []
+        for deck in (FAST_DECK, variant):
+            request = urllib.request.Request(
+                gateway.url + "/analyze",
+                data=request_body(deck, ["2"]), method="POST")
+            with urllib.request.urlopen(request) as reply:
+                responses.append(dict(reply.headers))
+        assert (responses[0]["X-Repro-Key"]
+                == responses[1]["X-Repro-Key"])
+        assert (responses[0]["X-Repro-Shard"]
+                == responses[1]["X-Repro-Shard"])
+
+    def test_sta_round_trip(self, gateway):
+        from repro.sta import Design
+
+        client = AnalysisClient(gateway.url)
+        design = Design.from_dict(demo_design_dict())
+        cold = client.sta(design, k=3)
+        assert not cold.cached
+        assert cold.document["design"] == "gw-demo"
+        warm = client.sta(design, k=3)
+        assert warm.cached and warm.body == cold.body
+
+    def test_healthz_and_metrics_shape(self, gateway):
+        client = AnalysisClient(gateway.url)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["shards"] == 2
+        metrics = client.metrics()
+        assert metrics["gateway"] is True
+        assert len(metrics["shard_health"]) == 2
+        assert "coalesced_requests" in metrics
+        assert "cache_hits" in metrics
+
+    def test_unknown_path_is_404_with_help(self, gateway):
+        client = AnalysisClient(gateway.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        assert "/analyze" in str(excinfo.value)
+
+    def test_routing_is_stable_across_gateway_restarts(self, daemons):
+        """Same key → same shard, through a full gateway restart: the
+        placement is a pure function of the content address."""
+        urls = [daemon.url for daemon in daemons]
+        observed = {}
+        for generation in range(2):
+            with GatewayServer(shard_urls=urls) as gateway:
+                import urllib.request
+                for index, node in enumerate(["1", "2"]):
+                    request = urllib.request.Request(
+                        gateway.url + "/analyze",
+                        data=request_body(FAST_DECK, [node]), method="POST")
+                    with urllib.request.urlopen(request) as reply:
+                        key = reply.headers["X-Repro-Key"]
+                        shard = reply.headers["X-Repro-Shard"]
+                    assert observed.setdefault(key, shard) == shard
+                    assert int(shard) == shard_for_key(key, len(urls))
+        assert len(observed) == 2
+
+    def test_gateway_boundary_faults_absorbed_by_client_retry(self, gateway):
+        import random
+
+        faults.install(FaultPlan.parse("http_503=1:0.01:x2", seed=0))
+        patient = AnalysisClient(gateway.url, retries=4, backoff_base=0.01,
+                                 rng=random.Random(0))
+        outcome = patient.analyze(FAST_DECK, "2")
+        assert outcome.ok
+        assert patient.stats()["client_retries"] == 2
+        metrics = patient.metrics()
+        assert metrics["faults_injected"] == 2
+        assert metrics["faults"]["http_503"]["fires"] == 2
+
+
+# ----------------------------------------------------------------------
+# Spawn mode: real child daemons, the crash campaign
+# ----------------------------------------------------------------------
+
+
+class TestSpawnMode:
+    def test_crash_campaign_zero_client_visible_failures(self, tmp_path):
+        """The acceptance criterion: seeded shard kills mid-campaign,
+        every client request still answered 200.  `shard_crash` fires
+        five times, each killing the target shard just before its
+        forward; the gateway respawns and retries behind the client's
+        back."""
+        faults.install(FaultPlan.parse("shard_crash=0.5:x5", seed=7))
+        gateway = GatewayServer(
+            shards=2, cache_dir=str(tmp_path / "cache"),
+            shard_queue_size=32).start()
+        try:
+            payloads = build_mix("mixed", 30, concurrency=6, seed=3,
+                                 sections=2)
+            outcome = run_loadgen(gateway.url, payloads, concurrency=6,
+                                  retries=2)
+            client = AnalysisClient(gateway.url)
+            metrics = client.metrics()
+        finally:
+            gateway.close()
+            faults.reset()
+
+        assert outcome["failed"] == 0, outcome["failures"]
+        assert outcome["requests"] == 30
+        assert metrics["faults"]["shard_crash"]["fires"] == 5
+        assert metrics["shard_restarts"] >= 1
+        restarts = [h["restarts"] for h in metrics["shard_health"]]
+        assert sum(restarts) >= 1
+        assert all(h["alive"] for h in metrics["shard_health"])
+
+    def test_spawned_shards_share_the_disk_cache_tier(self, tmp_path):
+        """A result computed through one gateway generation is a disk
+        hit for the next — the shared write-through tier."""
+        cache_dir = str(tmp_path / "cache")
+        with GatewayServer(shards=1, cache_dir=cache_dir) as gateway:
+            client = AnalysisClient(gateway.url)
+            cold = client.analyze(FAST_DECK, "2")
+            assert cold.ok and not cold.cached
+        with GatewayServer(shards=1, cache_dir=cache_dir) as gateway:
+            client = AnalysisClient(gateway.url)
+            warm = client.analyze(FAST_DECK, "2")
+            assert warm.cached
+            assert warm.body == cold.body

@@ -1,0 +1,128 @@
+"""The loadgen driver (`repro.gateway.loadgen`).
+
+Mixes must be seeded and replayable (a benchmark that can't be re-run
+byte-identically can't be compared), the synthetic decks must be real
+parseable circuits with distinct content addresses, and the driver must
+measure an actual server truthfully — including failures.
+"""
+
+import pytest
+
+from repro.circuit.parser import parse_netlist
+from repro.gateway.loadgen import (
+    MIXES,
+    _percentile,
+    build_mix,
+    coalesced_delta,
+    run_loadgen,
+    seeded_chain_deck,
+)
+from repro.service import ServiceServer
+from repro.service.canon import request_key
+
+
+class TestSeededDecks:
+    def test_deck_parses_and_names_its_seed(self):
+        deck_text, node = seeded_chain_deck(42, sections=5)
+        deck = parse_netlist(deck_text)
+        assert "seed=42" in deck_text
+        assert node == "n5"
+        # 5 RC sections + the source
+        assert len([e for e in deck.circuit
+                    if e.name.startswith("R")]) == 5
+
+    def test_same_seed_same_deck_different_seed_different_key(self):
+        first, _ = seeded_chain_deck(7)
+        again, _ = seeded_chain_deck(7)
+        other, _ = seeded_chain_deck(8)
+        assert first == again
+        assert first != other
+
+        def key_of(text, node):
+            deck = parse_netlist(text)
+            return request_key(deck.circuit, deck.stimuli, [node])
+
+        assert (key_of(*seeded_chain_deck(7))
+                != key_of(*seeded_chain_deck(8)))
+
+
+class TestBuildMix:
+    def test_mix_names(self):
+        assert set(MIXES) == {"miss", "hot", "mixed"}
+        with pytest.raises(ValueError):
+            build_mix("lukewarm", 8)
+
+    def test_replayable(self):
+        for mix in MIXES:
+            assert (build_mix(mix, 24, concurrency=8, seed=3)
+                    == build_mix(mix, 24, concurrency=8, seed=3))
+        assert (build_mix("miss", 24, seed=3)
+                != build_mix("miss", 24, seed=4))
+
+    def test_miss_mix_is_all_unique(self):
+        payloads = build_mix("miss", 24, concurrency=8, seed=0)
+        assert len(payloads) == 24
+        assert len({p["deck"] for p in payloads}) == 24
+
+    def test_hot_mix_repeats_within_rounds(self):
+        payloads = build_mix("hot", 24, concurrency=8, seed=0)
+        assert len(payloads) == 24
+        # one deck per round of `concurrency` requests
+        assert len({p["deck"] for p in payloads}) == 3
+        first_round = {p["deck"] for p in payloads[:8]}
+        assert len(first_round) == 1
+
+    def test_mixed_mix_alternates(self):
+        payloads = build_mix("mixed", 32, concurrency=8, seed=0)
+        assert len(payloads) == 32
+        unique = len({p["deck"] for p in payloads})
+        # two miss rounds (8 fresh each) + two hot rounds (1 each)
+        assert unique == 18
+
+    def test_request_count_not_divisible_by_concurrency(self):
+        payloads = build_mix("hot", 10, concurrency=8, seed=0)
+        assert len(payloads) == 10
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(101)]  # 0.0 .. 100.0
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile(values, 1.00) == 100.0
+        assert _percentile([5.0], 0.99) == 5.0
+        assert _percentile([], 0.5) == 0.0
+
+
+class TestRunLoadgen:
+    def test_measures_a_real_daemon(self):
+        with ServiceServer(port=0, workers=1) as server:
+            payloads = build_mix("hot", 8, concurrency=4, seed=1,
+                                 sections=2)
+            # Sequential on purpose: a plain daemon has no coalescing,
+            # so concurrent identical misses would race the cache store
+            # and the hit count would be timing-dependent.
+            outcome = run_loadgen(server.url, payloads, concurrency=1)
+        assert outcome["requests"] == 8
+        assert outcome["failed"] == 0
+        assert outcome["failures"] == []
+        assert outcome["rps"] > 0
+        assert 0 < outcome["p50_ms"] <= outcome["p99_ms"] <= outcome["max_ms"]
+        # 8 requests, 2 unique decks (hot mix, 4 per round): run one at
+        # a time, every repeat after a round's first is a cache hit.
+        assert outcome["cache_hits"] == 6
+
+    def test_failures_are_counted_not_raised(self):
+        payloads = build_mix("miss", 3, concurrency=2, seed=0, sections=2)
+        outcome = run_loadgen("http://127.0.0.1:9", payloads,
+                              concurrency=2, retries=0, timeout=2.0)
+        assert outcome["failed"] == 3
+        assert len(outcome["failures"]) == 3
+        assert all("error" in f and "index" in f
+                   for f in outcome["failures"])
+
+    def test_coalesced_delta(self):
+        before = {"coalesced_requests": 3}
+        after = {"coalesced_requests": 10}
+        assert coalesced_delta(before, after) == 7
+        assert coalesced_delta({}, {}) == 0  # plain daemon metrics

@@ -190,3 +190,77 @@ class TestBatchPlumbing:
         assert reduced.responses["80"].delay_50() == pytest.approx(
             plain.responses["80"].delay_50(), rel=0.01
         )
+
+
+class TestReductionMemo:
+    """The content-keyed reduction memo (`repro.reduce.ReductionMemo`):
+    the service path reduces each distinct circuit once, no matter how
+    many requests carry it."""
+
+    def _memo(self, max_entries=64):
+        from repro.reduce import ReductionMemo
+
+        return ReductionMemo(max_entries=max_entries)
+
+    def test_content_keyed_hit_across_equal_circuits(self):
+        memo = self._memo()
+        first = memo.reduce(rc_ladder(40))
+        again = memo.reduce(rc_ladder(40))  # a distinct, equal object
+        assert again is first               # shared reduced circuit
+        stats = memo.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_keep_set_and_section_bound_are_part_of_the_key(self):
+        memo = self._memo()
+        plain = memo.reduce(rc_ladder(40))
+        kept = memo.reduce(rc_ladder(40), keep=("20",))
+        small = memo.reduce(rc_ladder(40), max_section=4)
+        assert kept is not plain and small is not plain
+        assert memo.stats()["misses"] == 3
+        # keep order is normalized: same set, same entry.
+        assert memo.reduce(rc_ladder(40), keep=("20",)) is kept
+
+    def test_eviction_respects_the_bound(self):
+        memo = self._memo(max_entries=2)
+        for sections in (10, 20, 30, 40):
+            memo.reduce(rc_ladder(sections))
+        stats = memo.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 2
+
+    def test_memoized_result_matches_direct_reduction(self):
+        memo = self._memo()
+        direct = reduce_circuit(rc_ladder(50), keep=("25",)).circuit
+        memoized = memo.reduce(rc_ladder(50), keep=("25",))
+        assert memoized.canonical_key() == direct.canonical_key()
+
+    def test_service_path_reduces_each_circuit_once(self):
+        """Two distinct requests (different analysis orders, so distinct
+        result-cache keys) carrying the same circuit and node set share
+        one memoized reduction inside the daemon."""
+        import json
+
+        from repro import Step
+        from repro.circuit.writer import write_netlist
+        from repro.reduce import REDUCTION_MEMO
+        from repro.service import AnalysisService
+
+        REDUCTION_MEMO.clear()
+        deck = write_netlist(rc_ladder(30), {"Vin": Step(0.0, 5.0)})
+        variant = "* same circuit, different bytes\n" + deck
+        before = REDUCTION_MEMO.stats()
+
+        service = AnalysisService(workers=1).start()
+        try:
+            for text, order in ((deck, 2), (variant, 3)):
+                body = json.dumps({"deck": text, "nodes": ["15"],
+                                   "order": order,
+                                   "reduce": True}).encode()
+                status, response, _ = service.submit(body)
+                assert status == 200, response
+        finally:
+            service.close(timeout=60)
+
+        after = REDUCTION_MEMO.stats()
+        assert after["misses"] - before["misses"] == 1
+        assert after["hits"] - before["hits"] == 1

@@ -187,3 +187,22 @@ class TestThreadSafety:
         stats = cache.stats()
         assert stats["cache_bytes"] <= cache.max_bytes
         assert stats["cache_stores"] == 800
+
+
+class TestDiskSchemas:
+    """Both result schemas persist: an `/sta` body on disk must survive
+    a restart exactly like a run-report (it used to be unlinked as
+    corrupt, silently re-running every persisted STA request)."""
+
+    def test_sta_report_round_trips_through_disk(self, tmp_path):
+        from repro.report import STA_REPORT_SCHEMA
+
+        directory = str(tmp_path / "cache")
+        sta = (json.dumps({"schema": STA_REPORT_SCHEMA,
+                           "kind": "sta", "design": "d"}) + "\n").encode()
+        ResultCache(directory=directory).put("sta-key", sta)
+
+        rebooted = ResultCache(directory=directory)
+        assert rebooted.get("sta-key") == sta
+        assert rebooted.stats()["cache_disk_hits"] == 1
+        assert (tmp_path / "cache" / "sta-key.json").exists()

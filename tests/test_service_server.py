@@ -673,3 +673,76 @@ class TestResilienceAcceptance:
         assert client_stats["retries_exhausted"] == 0
         assert metrics["requests_failed"] == 0
         assert metrics["degraded"] is False
+
+
+class TestPerEndpointRetryAfter:
+    """`Retry-After` hints come from the endpoint's *own* EWMA: a fleet
+    of second-long STA jobs must not inflate the back-off quoted to a
+    millisecond `/analyze` caller (or vice versa)."""
+
+    STA_DESIGN = {
+        "name": "ewma-demo",
+        "inputs": [{"name": "i1", "net": "n_in", "arrival": 0.0,
+                    "slew": 2e-11, "drive_resistance": 500.0}],
+        "outputs": [{"name": "o1", "net": "n_out", "required": 5e-10,
+                     "load": 4e-15}],
+        "instances": [{"name": "u1", "cell": "INV_X1",
+                       "connections": {"A": "n_in", "Y": "n_out"}}],
+        "nets": [
+            {"name": "n_in", "segments": []},
+            {"name": "n_out", "segments": [
+                {"a": "root", "b": "o1", "resistance": 200.0,
+                 "capacitance": 15e-15}]},
+        ],
+    }
+
+    def test_queue_full_hint_tracks_each_endpoints_own_average(self):
+        service = AnalysisService(workers=1, queue_size=1).start()
+        try:
+            outcomes = []
+
+            def run(order):
+                outcomes.append(service.submit(slow_body(order=order)))
+
+            first = threading.Thread(target=run, args=(4,))
+            first.start()
+            assert wait_until(
+                lambda: service._in_flight == 1
+                and service._queue.qsize() == 0)
+            second = threading.Thread(target=run, args=(5,))
+            second.start()
+            assert wait_until(lambda: service._queue.qsize() == 1)
+
+            # Pretend history: analyze jobs have been fast, STA slow.
+            with service._lock:
+                service._avg_job_s["analyze"] = 3.0
+                service._avg_job_s["sta"] = 30.0
+
+            status, _, headers = service.submit(
+                request_body(FAST_DECK, ["1"], order=2))
+            assert status == 429
+            # ceil(3.0 * (qsize 1 + 1)) — the analyze average, doubled.
+            assert headers["Retry-After"] == "6"
+
+            sta_body = json.dumps({"design": self.STA_DESIGN}).encode()
+            status, _, headers = service.submit(sta_body, kind="sta")
+            assert status == 429
+            # Same queue, same instant — but the STA hint is 10x.
+            assert headers["Retry-After"] == "60"
+
+            first.join(timeout=60)
+            second.join(timeout=60)
+            assert [status for status, _, _ in outcomes] == [200, 200]
+        finally:
+            service.close(timeout=60)
+
+    def test_metrics_expose_both_averages_and_they_move_independently(
+            self, service):
+        seeded = service.metrics()["avg_job_s"]
+        assert seeded == {"analyze": 0.05, "sta": 0.05}
+
+        status, _, _ = service.submit(request_body(FAST_DECK, ["2"]))
+        assert status == 200
+        moved = service.metrics()["avg_job_s"]
+        assert moved["analyze"] != 0.05  # EWMA absorbed the real elapsed
+        assert moved["sta"] == 0.05      # untouched by /analyze traffic
