@@ -92,6 +92,7 @@ from repro.sta import (
     report_top_k_critical_paths,
     run_sta,
 )
+from repro.sweep import SweepEngine, SweepPlan, SweepPoint, SweepResult, sweep
 from repro.trace import NULL_TRACER, Tracer
 from repro.waveform import Waveform, l2_error
 
@@ -138,6 +139,10 @@ __all__ = [
     "StaRun",
     "Step",
     "Stimulus",
+    "SweepEngine",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepResult",
     "TimingGraph",
     "TopologyError",
     "Tracer",
@@ -161,6 +166,7 @@ __all__ = [
     "report_top_k_critical_paths",
     "run_sta",
     "simulate",
+    "sweep",
     "validate_report",
     "validate_sta_report",
     "__version__",

@@ -72,6 +72,15 @@ Installed as ``python -m repro``.  The subcommands:
     ``serve``, so ``analyze --server`` and ``loadgen`` work against
     either.  See ``docs/service.md``.
 
+``sweep``
+    Incremental what-if sweep: parse and factor a deck once, then
+    evaluate many perturbation points (scale or replace an R/C value,
+    retune a source level) by recomputing only what each delta touches
+    — adjoint first-order updates, Sherman–Morrison rank-1 updates, or
+    a bit-exact re-stamp fallback.  Runs locally by default or against
+    a daemon/gateway with ``--server URL`` (``POST /sweep``).  See
+    ``docs/sweep.md``.
+
 ``loadgen``
     Drive a seeded, replayable request mix against a daemon or gateway
     at fixed concurrency and print p50/p99 latency, RPS, cache hits,
@@ -90,6 +99,7 @@ Examples::
     python -m repro serve --port 8040 --workers 4 --cache-dir /var/cache/repro
     python -m repro analyze net.sp --server http://127.0.0.1:8040 --node out
     python -m repro gateway --port 8050 --shards 4 --cache-dir /var/cache/repro
+    python -m repro sweep net.sp --node out --point R1:scale=1.2 --point C3:value=40f
     python -m repro loadgen --server http://127.0.0.1:8050 --mix hot --requests 128
 """
 
@@ -345,6 +355,47 @@ def build_parser() -> argparse.ArgumentParser:
                               "e.g. 'shard_crash=1:x3' (testing only)")
     gateway.add_argument("--fault-seed", type=int, default=0,
                          help="seed for the fault plan (default 0)")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="incremental what-if sweep: one factorization, many points "
+             "(docs/sweep.md)",
+    )
+    sweep.add_argument("deck", help="SPICE-style netlist file")
+    sweep.add_argument("--node", required=True,
+                       help="output node the swept moments belong to")
+    sweep.add_argument("--point", action="append", metavar="SPEC",
+                       help="one perturbation as ELEMENT:scale=F or "
+                            "ELEMENT:value=V[,label=TEXT] — engineering "
+                            "suffixes welcome (repeatable)")
+    sweep.add_argument("--plan", metavar="PATH",
+                       help="JSON plan file: a list of point objects or a "
+                            "full plan payload ('-' = stdin); combined "
+                            "with --point specs in that order")
+    sweep.add_argument("--mode", choices=["auto", "first_order", "rank1",
+                                          "exact"], default="auto",
+                       help="pin every point to one tier (default auto: "
+                            "cheapest valid tier per point)")
+    sweep.add_argument("--first-order-threshold", type=float, default=0.05,
+                       help="largest relative value change the gradient "
+                            "tier may serve in auto mode (default 0.05)")
+    sweep.add_argument("--error-bound", type=float, default=1e-3,
+                       help="largest estimated relative error before a "
+                            "point escalates a tier (default 1e-3)")
+    sweep.add_argument("--server", metavar="URL",
+                       help="run on a daemon/gateway via POST /sweep "
+                            "instead of locally")
+    sweep.add_argument("--timeout", type=float,
+                       help="server-side per-request budget in seconds "
+                            "(with --server)")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="extra attempts for transient failures "
+                            "(with --server; default 2)")
+    sweep.add_argument("--json", metavar="PATH",
+                       help="write the repro.sweep-report/1 JSON here; "
+                            "'-' = stdout")
+    sweep.add_argument("--markdown", metavar="PATH",
+                       help="write the Markdown report here; '-' = stdout")
 
     loadgen = commands.add_parser(
         "loadgen",
@@ -873,6 +924,128 @@ def cmd_gateway(args) -> int:
     )
 
 
+def _parse_point_spec(spec: str) -> dict:
+    """``ELEMENT:scale=F`` / ``ELEMENT:value=V[,label=TEXT]`` → point dict."""
+    from repro.circuit.units import parse_value
+
+    element, sep, rest = spec.partition(":")
+    if not element or not sep or not rest:
+        raise ReproError(
+            f"malformed point spec {spec!r}; expected "
+            "ELEMENT:scale=F or ELEMENT:value=V[,label=TEXT]")
+    point: dict = {"element": element}
+    for assignment in rest.split(","):
+        name, sep, raw = assignment.partition("=")
+        name = name.strip()
+        if not sep or name not in ("scale", "value", "label"):
+            raise ReproError(
+                f"malformed point spec {spec!r}: bad field {assignment!r}")
+        point[name] = raw if name == "label" else parse_value(raw.strip())
+    if ("scale" in point) == ("value" in point):
+        raise ReproError(
+            f"point spec {spec!r} needs exactly one of scale= or value=")
+    return point
+
+
+def cmd_sweep(args) -> int:
+    import json
+    import time
+
+    from repro.report import (build_sweep_report, render_sweep_markdown,
+                              validate_sweep_report)
+    from repro.sweep import SweepEngine, SweepPlan
+    from repro.trace import Tracer
+
+    points = [_parse_point_spec(spec) for spec in (args.point or [])]
+    plan_defaults: dict = {}
+    if args.plan is not None:
+        if args.plan == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.plan, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        if isinstance(payload, list):
+            points.extend(payload)
+        elif isinstance(payload, dict):
+            points.extend(payload.get("points", []))
+            plan_defaults = {name: payload[name]
+                             for name in ("mode", "first_order_threshold",
+                                          "error_bound")
+                             if name in payload}
+        else:
+            raise ReproError("--plan must be a JSON list or object")
+    if not points:
+        raise ReproError("no sweep points: give --point and/or --plan")
+
+    plan_payload = {
+        "node": args.node,
+        "points": points,
+        "mode": plan_defaults.get("mode", args.mode),
+        "first_order_threshold": plan_defaults.get(
+            "first_order_threshold", args.first_order_threshold),
+        "error_bound": plan_defaults.get("error_bound", args.error_bound),
+    }
+
+    if args.server is not None:
+        from repro.service import AnalysisClient
+
+        with open(args.deck, "r", encoding="utf-8") as handle:
+            deck_text = handle.read()
+        client = AnalysisClient(args.server, retries=args.retries)
+        outcome = client.sweep(
+            deck_text, args.node, plan_payload["points"],
+            mode=plan_payload["mode"],
+            first_order_threshold=plan_payload["first_order_threshold"],
+            error_bound=plan_payload["error_bound"],
+            timeout=args.timeout)
+        document = outcome.document
+        body_text = outcome.body.decode("utf-8")
+        print(f"server: {args.server} "
+              f"[{'cache hit' if outcome.cached else 'computed'}, "
+              f"{outcome.server_elapsed_s * 1e3:.2f} ms server-side]",
+              file=sys.stderr)
+    else:
+        started = time.perf_counter()
+        deck = parse_netlist_file(args.deck)
+        plan = SweepPlan.from_payload(plan_payload)
+        parse_s = time.perf_counter() - started
+        tracer = Tracer(name="sweep", deck=deck.title or args.deck,
+                        points=len(plan.points))
+        engine = SweepEngine(deck.circuit, deck.stimuli, tracer=tracer)
+        result = engine.evaluate(plan)
+        document = validate_sweep_report(
+            build_sweep_report(result, trace=tracer.to_record(),
+                               parse_s=parse_s))
+        body_text = json.dumps(document, indent=2) + "\n"
+
+    if args.json is not None:
+        _write_text(args.json, body_text)
+    if args.markdown is not None:
+        _write_text(args.markdown, render_sweep_markdown(document))
+    if args.json is None and args.markdown is None:
+        base = document["base"]
+        stats = document["stats"]
+        print(f"sweep: node {document['node']}, "
+              f"base Elmore delay {fmt(base['elmore_delay'], 's')}")
+        print(f"  {len(document['points'])} point(s): "
+              f"{document['incremental_points']} incremental "
+              f"(first_order {stats['first_order']}, rank1 {stats['rank1']}), "
+              f"{stats['exact']} exact, {stats['fallbacks']} fallback(s), "
+              f"{stats['factorizations']} extra factorization(s)")
+        print(f"  {'element':<10} {'value':>12} {'mode':<13} "
+              f"{'dc':>9} {'Elmore delay':>13} {'est. err':>9}")
+        for entry in document["points"]:
+            estimate = entry["error_estimate"]
+            mode = entry["mode"] + ("*" if entry["fallback"] else "")
+            print(f"  {entry['element']:<10} {entry['value']:>12.6g} "
+                  f"{mode:<13} {entry['dc']:>9.4g} "
+                  f"{fmt(entry['elmore_delay'], 's'):>13} "
+                  f"{'n/a' if estimate is None else f'{estimate:.2g}':>9}")
+        if any(entry["fallback"] for entry in document["points"]):
+            print("  (* demoted tier; see the sweep_fallback trace events)")
+    return 0
+
+
 def cmd_loadgen(args) -> int:
     import json
 
@@ -926,6 +1099,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "analyze": cmd_analyze,
         "gateway": cmd_gateway,
+        "sweep": cmd_sweep,
         "loadgen": cmd_loadgen,
     }
     try:

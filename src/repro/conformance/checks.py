@@ -45,6 +45,15 @@ The invariants are the paper's own mathematics turned into oracles:
     sectioned pi collapse keeps higher-moment error ~1/k² small — full
     AWE waveforms and 50 % delays additionally agree within a calibrated
     2 % / 1 % bound.  Skipped when nothing in the case is collapsible.
+``sweep_incremental``
+    The incremental what-if engine (:mod:`repro.sweep`) against its own
+    from-scratch reference: exact-tier points (including fallback
+    demotions) must match ``direct_point`` **bit for bit**, rank-1
+    Sherman–Morrison points to 1e-9 relative, first-order gradient
+    points within the plan's stated error bound — and on RC trees a
+    near-open resistor must *demote* to the exact tier rather than
+    silently serve a degenerate rank-1 update.  Skipped for cases
+    outside the engine's R/C/V/I no-floating-group scope.
 """
 
 from __future__ import annotations
@@ -67,6 +76,7 @@ from repro.errors import AnalysisError, ReproError
 from repro.rctree import elmore_delays
 from repro.reduce import reduce_circuit
 from repro.service.canon import canonical_deck, request_key
+from repro.sweep import SweepEngine, SweepPlan, SweepPoint
 from repro.waveform import l2_error
 
 from repro.conformance.generate import FuzzCase
@@ -528,6 +538,102 @@ def check_reduction_equivalence(case: FuzzCase, config: FuzzConfig) -> list[str]
     return violations
 
 
+def check_sweep_incremental(case: FuzzCase, config: FuzzConfig) -> list[str]:
+    """The incremental sweep engine against its from-scratch reference.
+
+    One mixed plan per case — small and large R and C scalings plus a
+    source retune, and (on RC trees, where every resistor is a bridge)
+    a near-open resistor that provably degenerates the Sherman–Morrison
+    denominator.  The guarantees checked are the ones
+    :mod:`repro.sweep` states:
+
+    * ``exact``-tier points (including fallback demotions) are **bit
+      for bit** equal to :meth:`SweepEngine.direct_point`.
+    * ``rank1`` points agree to 1e-9 relative (exact in algebra).
+    * ``first_order`` points stay within the plan's ``error_bound``.
+    * the near-open resistor *demotes* (``fallback=True`` → exact) —
+      a silently-served degenerate rank-1 update is a finding.
+    * the tier counts and extra-factorization count are consistent.
+    """
+    try:
+        engine = SweepEngine(case.circuit, case.stimuli)
+    except AnalysisError as exc:
+        raise SkipCheck(f"outside the sweep engine's scope: {exc}")
+    resistors = sorted(
+        element.name for element in case.circuit
+        if isinstance(element, Resistor))
+    capacitors = sorted(
+        element.name for element in case.circuit
+        if isinstance(element, Capacitor))
+    if not resistors or not capacitors:
+        raise SkipCheck("the sweep check wants at least one R and one C")
+    node = case.nodes[0]
+    points = [
+        SweepPoint(element=resistors[0], scale=1.02, label="r-small"),
+        SweepPoint(element=resistors[-1], scale=2.5, label="r-big"),
+        SweepPoint(element=capacitors[0], scale=1.03, label="c-small"),
+        SweepPoint(element=capacitors[-1], scale=0.5, label="c-big"),
+        SweepPoint(element=case.source, scale=1.25, label="retune"),
+    ]
+    if case.is_rc_tree:
+        # Every tree resistor is a bridge, so scaling one to near-open
+        # drives the Sherman–Morrison denominator to ~1e-10 — below the
+        # engine's validity floor.  It must demote, not approximate.
+        points.append(SweepPoint(element=resistors[0], scale=1e10,
+                                 label="force-open"))
+    plan = SweepPlan(node=node, points=tuple(points))
+    try:
+        result = engine.evaluate(plan)
+        references = [engine.direct_point(point, node)
+                      for point in plan.points]
+    except AnalysisError as exc:
+        raise SkipCheck(f"sweep plan outside the engine's scope: {exc}")
+    violations: list[str] = []
+    for point, got, want in zip(plan.points, result.points, references):
+        if got.mode == "exact":
+            if (got.dc, got.m1, got.elmore_delay) != (
+                    want.dc, want.m1, want.elmore_delay):
+                violations.append(
+                    f"point {point.label}: exact tier is not bit-identical "
+                    f"to a from-scratch evaluation "
+                    f"({got.elmore_delay!r} vs {want.elmore_delay!r})")
+            continue
+        # m1 = −T·dc compounds both first-order errors, so only the
+        # algebraically-exact rank-1 tier owes it the tight bound.
+        fields = (("dc", "m1", "elmore_delay") if got.mode == "rank1"
+                  else ("dc", "elmore_delay"))
+        bound = 1e-9 if got.mode == "rank1" else plan.error_bound
+        for field in fields:
+            g, w = getattr(got, field), getattr(want, field)
+            err = abs(g - w) / max(abs(w), 1e-300)
+            if err > bound:
+                violations.append(
+                    f"point {point.label}: {got.mode} {field} off by "
+                    f"{err:.3g} relative (bound {bound:g})")
+    retune = result.points[4]
+    if retune.mode != "rank1" or retune.fallback:
+        violations.append(
+            f"source retune served by {retune.mode!r} "
+            f"(fallback={retune.fallback}) — expected the exact-linear "
+            f"rank-1 RHS update")
+    if case.is_rc_tree:
+        forced = result.points[-1]
+        if forced.mode != "exact" or not forced.fallback:
+            violations.append(
+                f"near-open resistor served by {forced.mode!r} "
+                f"(fallback={forced.fallback}) — a degenerate "
+                f"Sherman–Morrison denominator must demote to exact")
+    if result.stats["factorizations"] != result.stats["exact"]:
+        violations.append(
+            f"stats disagree: {result.stats['exact']} exact points but "
+            f"{result.stats['factorizations']} extra factorizations")
+    if result.incremental_points + result.stats["exact"] != len(plan.points):
+        violations.append(
+            f"tier counts {result.stats} do not sum to the "
+            f"{len(plan.points)}-point plan")
+    return violations
+
+
 #: The registry, in the order the runner executes them: cheap structural
 #: checks first, the differential oracle last (it dominates wall time).
 CHECKS: dict = {
@@ -539,6 +645,7 @@ CHECKS: dict = {
     "time_scaling": check_time_scaling,
     "frequency_scaling": check_frequency_scaling,
     "batch_vs_sequential": check_batch_vs_sequential,
+    "sweep_incremental": check_sweep_incremental,
     "reduction_equivalence": check_reduction_equivalence,
     "awe_vs_transient": check_awe_vs_transient,
 }

@@ -257,6 +257,21 @@ def _case_coupled_rlc(seed: int, rng: np.random.Generator) -> FuzzCase:
                     l2_bound=0.05, refine_tolerance=1e-3)
 
 
+def _case_sweep(seed: int, rng: np.random.Generator) -> FuzzCase:
+    """A random RC tree earmarked for the incremental what-if sweep
+    differential check (:func:`repro.conformance.checks.
+    check_sweep_incremental`): guaranteed inside
+    :class:`repro.sweep.SweepEngine`'s scope (R/C/V only, no floating
+    groups), and every resistor is a tree bridge, so the fallback-forcing
+    perturbation (a resistor scaled to near-open) reliably drives the
+    Sherman–Morrison denominator degenerate."""
+    nodes = int(rng.integers(3, 13))
+    circuit = random_rc_tree(nodes, seed=int(rng.integers(0, 10**6)))
+    outputs = (str(nodes), str(int(rng.integers(1, nodes + 1))))
+    return FuzzCase(seed, "sweep", circuit, {"Vin": _stimulus(rng)},
+                    tuple(dict.fromkeys(outputs)), "Vin", is_rc_tree=True)
+
+
 def _case_sta(seed: int, rng: np.random.Generator):
     """A layered timing DAG with dyadic delays (see
     :mod:`repro.conformance.sta`).  Imported lazily: the sta module
@@ -274,8 +289,8 @@ def _case_sta(seed: int, rng: np.random.Generator):
 #: STA checks run on; its weight is consumed by a *separate* pre-draw
 #: (see :func:`generate_case`) so adding it left every circuit seed's
 #: case bit-identical to the calibrated pre-sta stream.  ``long_chain``
-#: (added later) is carved out the same way, with its own pre-draw, for
-#: the same reason.
+#: and ``sweep`` (added later) are carved out the same way, each with
+#: its own pre-draw, for the same reason.
 FAMILIES: dict = {
     "rc_tree": (_case_rc_tree, 0.18),
     "rc_ladder": (_case_rc_ladder, 0.12),
@@ -290,11 +305,15 @@ FAMILIES: dict = {
     "coupled_rlc": (_case_coupled_rlc, 0.02),
     "sta": (_case_sta, 0.10),
     "long_chain": (_case_long_chain, 0.05),
+    "sweep": (_case_sweep, 0.05),
 }
 
 #: Families claimed by an independently-seeded pre-draw instead of the
 #: main weighted choice, in draw order (see :func:`generate_case`).
-_CARVED_OUT: tuple = (("sta", 0x57A), ("long_chain", 0x10C))
+#: Append-only: new carve-outs go LAST with a fresh salt, so the seeds
+#: older families already claimed never re-route.
+_CARVED_OUT: tuple = (("sta", 0x57A), ("long_chain", 0x10C),
+                      ("sweep", 0x5EE))
 
 
 def generate_case(seed: int, family: str | None = None) -> FuzzCase:
@@ -303,8 +322,8 @@ def generate_case(seed: int, family: str | None = None) -> FuzzCase:
     ``family`` forces a specific family (same seed → same circuit within
     that family); by default the family itself is drawn from the seed.
 
-    The ``sta`` and ``long_chain`` families are carved out with
-    independently-seeded pre-draws *before* the circuit-family choice
+    The ``sta``, ``long_chain``, and ``sweep`` families are carved out
+    with independently-seeded pre-draws *before* the circuit-family choice
     touches the main rng: the seeds they do not claim consume exactly
     the rng stream they did before either family existed, so every
     calibrated circuit case stays bit-identical and only the claimed

@@ -77,12 +77,14 @@ from repro.errors import ReproError
 from repro.gateway.routing import shard_for_key
 from repro.gateway.shards import AttachedShard, ShardProcess
 from repro.service.cache import ResultCache
-from repro.service.canon import request_key, sta_request_key
+from repro.service.canon import (request_key, sta_request_key,
+                                 sweep_request_key)
 from repro.service.server import (
     MAX_BODY_BYTES,
     _error_body,
     parse_analyze_request,
     parse_sta_request,
+    parse_sweep_request,
 )
 from repro.trace import NULL_TRACER
 
@@ -315,7 +317,8 @@ class GatewayService:
     # -- the request path ----------------------------------------------
 
     async def submit(self, raw_body: bytes, kind: str = "analyze"):
-        """Handle one ``/analyze`` or ``/sta`` body end to end; returns
+        """Handle one ``/analyze``, ``/sta``, or ``/sweep`` body end to
+        end; returns
         ``(status, body_bytes, extra_headers)`` like the daemon's
         :meth:`~repro.service.server.AnalysisService.submit`."""
         loop = asyncio.get_running_loop()
@@ -408,6 +411,11 @@ class GatewayService:
             key = sta_request_key(
                 params["design"], params["k"], params["corners"],
                 params["interconnect"], library=params["library"])
+        elif kind == "sweep":
+            params = parse_sweep_request(raw_body)
+            deck = parse_netlist(params["deck"])
+            key = sweep_request_key(deck.circuit, deck.stimuli,
+                                    params["plan"])
         else:
             params = parse_analyze_request(raw_body)
             deck = parse_netlist(params["deck"])
@@ -445,7 +453,7 @@ class GatewayService:
         """
         shard = self._shards[index]
         health = self._health[index]
-        path = "/sta" if kind == "sta" else "/analyze"
+        path = {"sta": "/sta", "sweep": "/sweep"}.get(kind, "/analyze")
         plan = faults.active()
         loop = asyncio.get_running_loop()
         last_error = None
@@ -785,12 +793,14 @@ class GatewayServer:
                 return 200, body, {}
             return 404, _error_body(
                 404, f"unknown path {path!r}; endpoints: POST /analyze, "
-                     "POST /sta, GET /healthz, GET /metrics"), {}
+                     "POST /sta, POST /sweep, GET /healthz, "
+                     "GET /metrics"), {}
         if method != "POST":
             return 405, _error_body(405, f"method {method} not allowed"), {}
-        if path not in ("/analyze", "/sta"):
+        if path not in ("/analyze", "/sta", "/sweep"):
             return 404, _error_body(
-                404, f"unknown path {path!r}; POST /analyze or POST /sta"), {}
+                404, f"unknown path {path!r}; POST /analyze, POST /sta, "
+                     "or POST /sweep"), {}
         try:
             length = int(headers.get("content-length", ""))
         except ValueError:
@@ -799,7 +809,7 @@ class GatewayServer:
             return 413, _error_body(
                 413, f"request body exceeds {MAX_BODY_BYTES} bytes"), {}
         raw = await reader.readexactly(length)
-        kind = "sta" if path == "/sta" else "analyze"
+        kind = path.lstrip("/")
         return await self.service.submit(raw, kind=kind)
 
 

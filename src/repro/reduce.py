@@ -295,8 +295,16 @@ class ReductionMemo:
     Returning a shared :class:`Circuit` is safe because circuits are
     never mutated by analysis (the engine's identity grouping relies on
     the same property); sharing even *improves* analyzer reuse across
-    worker threads.  The memo is thread-safe and bounded by entry count
-    (reduced circuits are small — the point of reducing them).
+    worker threads.  To keep that invariant enforceable now that the
+    sweep engine derives *perturbed* variants downstream, every stored
+    circuit is :meth:`~repro.circuit.netlist.Circuit.freeze`-d — and a
+    no-op reduction is stored as a frozen **copy** rather than the
+    caller's own object, so the memo never freezes (or aliases) an
+    object it does not own.  Consumers that need to perturb a memo hit
+    must go through ``Circuit.copy()``; a stray ``replace()`` on the hit
+    raises instead of corrupting every other holder's results.  The memo
+    is thread-safe and bounded by entry count (reduced circuits are
+    small — the point of reducing them).
     """
 
     def __init__(self, max_entries: int = 64):
@@ -328,6 +336,11 @@ class ReductionMemo:
                 return cached
         reduced = reduce_circuit(circuit, keep=keep,
                                  max_section=max_section).circuit
+        if reduced is circuit:
+            # No-op reduction: never store (and freeze) the caller's own
+            # object — a later mutation of it would corrupt the cache.
+            reduced = circuit.copy()
+        reduced.freeze()
         with self._lock:
             self._misses += 1
             existing = self._entries.get(key)

@@ -22,17 +22,27 @@ from repro.report.sta import (
     render_sta_markdown,
     validate_sta_report,
 )
+from repro.report.sweep import (
+    SWEEP_REPORT_SCHEMA,
+    build_sweep_report,
+    render_sweep_markdown,
+    validate_sweep_report,
+)
 
 __all__ = [
     "PHASE_ORDER",
     "REPORT_SCHEMA",
     "STA_REPORT_SCHEMA",
+    "SWEEP_REPORT_SCHEMA",
     "build_report",
     "build_sta_report",
+    "build_sweep_report",
     "job_record",
     "render_markdown",
     "render_sta_markdown",
+    "render_sweep_markdown",
     "response_record",
     "validate_report",
     "validate_sta_report",
+    "validate_sweep_report",
 ]

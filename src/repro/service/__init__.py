@@ -16,7 +16,8 @@ microseconds instead of milliseconds.
   ``repro.run-report/1`` JSON documents, with optional on-disk
   persistence and hit/miss/eviction counters.
 * :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API
-  (``POST /analyze``, ``POST /sta``, ``GET /healthz``, ``GET /metrics``)
+  (``POST /analyze``, ``POST /sta``, ``POST /sweep``, ``GET /healthz``,
+  ``GET /metrics``)
   with a bounded queue, 429 admission control, per-request timeouts, and
   graceful SIGTERM drain.
 * :mod:`repro.service.client` — a dependency-free HTTP client with
@@ -28,9 +29,10 @@ documented in ``docs/service.md``.
 """
 
 from repro.service.cache import ResultCache
-from repro.service.canon import canonical_deck, request_key, sta_request_key
+from repro.service.canon import (canonical_deck, request_key,
+                                 sta_request_key, sweep_request_key)
 from repro.service.client import (AnalysisClient, AnalyzeOutcome,
-                                  ServiceError, StaOutcome,
+                                  ServiceError, StaOutcome, SweepOutcome,
                                   parse_retry_after)
 from repro.service.server import AnalysisService, ServiceServer, serve
 
@@ -42,9 +44,11 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "StaOutcome",
+    "SweepOutcome",
     "canonical_deck",
     "parse_retry_after",
     "request_key",
     "serve",
     "sta_request_key",
+    "sweep_request_key",
 ]

@@ -35,6 +35,10 @@ KEY_SCHEMA = "repro.analysis-request/2"
 #: design form).
 STA_KEY_SCHEMA = "repro.sta-request/1"
 
+#: Same role for ``POST /sweep`` requests (sweep report schema +
+#: canonical deck + plan payload).
+SWEEP_KEY_SCHEMA = "repro.sweep-request/1"
+
 
 def canonical_deck(circuit: Circuit, stimuli: dict[str, Stimulus] | None = None) -> str:
     """The circuit's canonical serialisation (title blanked).
@@ -76,6 +80,25 @@ def request_key(
         "max_order": int(max_order),
         "threshold": None if threshold is None else float(threshold),
         "reduce": bool(reduce),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sweep_request_key(circuit, stimuli, plan) -> str:
+    """Content address of one sweep request (SHA-256 hex digest).
+
+    ``plan`` is a :class:`repro.sweep.SweepPlan`; its payload carries the
+    node, tier policy, bounds, and the points *in request order* (the
+    report lists results in that order, so a reordered plan is a
+    genuinely different document).  The deck is canonicalised exactly
+    like an ``/analyze`` request, so textual respellings of one circuit
+    share an entry.
+    """
+    payload = {
+        "schema": SWEEP_KEY_SCHEMA,
+        "deck": canonical_deck(circuit, stimuli),
+        "plan": plan.to_payload(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

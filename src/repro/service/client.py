@@ -130,6 +130,28 @@ class StaOutcome:
         return self.document["worst_slack_s"]
 
 
+@dataclasses.dataclass(frozen=True)
+class SweepOutcome:
+    """One ``/sweep`` round trip.
+
+    ``document`` is the parsed ``repro.sweep-report/1`` report; ``body``
+    the exact bytes received (a cache hit is bit-identical to the cold
+    response); ``cached``/``key``/``server_elapsed_s`` mirror
+    :class:`AnalyzeOutcome`.
+    """
+
+    document: dict
+    body: bytes
+    cached: bool
+    key: str
+    server_elapsed_s: float
+
+    @property
+    def incremental_points(self) -> int:
+        """Points the server evaluated without an extra factorization."""
+        return self.document["incremental_points"]
+
+
 class AnalysisClient:
     """Talk to a running ``python -m repro serve`` daemon.
 
@@ -264,6 +286,53 @@ class AnalysisClient:
         status, body, headers = self._request(
             "POST", "/sta", json.dumps(payload).encode("utf-8"), retry=True)
         return StaOutcome(
+            document=json.loads(body),
+            body=body,
+            cached=headers.get("X-Repro-Cache") == "hit",
+            key=headers.get("X-Repro-Key", ""),
+            server_elapsed_s=float(headers.get("X-Repro-Elapsed-S", "nan")),
+        )
+
+    def sweep(
+        self,
+        deck: str,
+        node: str,
+        points,
+        mode: str | None = None,
+        first_order_threshold: float | None = None,
+        error_bound: float | None = None,
+        timeout: float | None = None,
+    ) -> SweepOutcome:
+        """Submit one incremental what-if sweep.
+
+        ``deck`` is netlist text, ``node`` the output node, ``points`` a
+        list of point dicts (``{"element": ..., "scale": ...}`` or
+        ``{"element": ..., "value": ...}``) or objects with a matching
+        shape (e.g. :class:`repro.sweep.SweepPoint` payloads).  The
+        remaining parameters mirror :class:`repro.sweep.SweepPlan`.
+        Transient failures are retried exactly like :meth:`analyze` —
+        ``/sweep`` is idempotent server-side.
+        """
+        def point_dict(point):
+            if hasattr(point, "element"):
+                return {"element": point.element, "value": point.value,
+                        "scale": point.scale, "label": point.label}
+            return point
+
+        payload: dict = {
+            "deck": deck,
+            "node": node,
+            "points": [point_dict(point) for point in points],
+        }
+        for name, value in (("mode", mode),
+                            ("first_order_threshold", first_order_threshold),
+                            ("error_bound", error_bound),
+                            ("timeout", timeout)):
+            if value is not None:
+                payload[name] = value
+        status, body, headers = self._request(
+            "POST", "/sweep", json.dumps(payload).encode("utf-8"), retry=True)
+        return SweepOutcome(
             document=json.loads(body),
             body=body,
             cached=headers.get("X-Repro-Cache") == "hit",

@@ -70,12 +70,15 @@ from repro.instrumentation import SolverStats
 from repro.report import (
     build_report,
     build_sta_report,
+    build_sweep_report,
     validate_report,
     validate_sta_report,
+    validate_sweep_report,
 )
 from repro.reduce import REDUCTION_MEMO
 from repro.service.cache import ResultCache
-from repro.service.canon import request_key, sta_request_key
+from repro.service.canon import request_key, sta_request_key, sweep_request_key
+from repro.sweep import SweepEngine, SweepPlan
 from repro.sta import (
     INTERCONNECT_MODES,
     NOMINAL,
@@ -258,12 +261,65 @@ def _parse_sta_request(raw: bytes) -> dict:
     }
 
 
+def _parse_sweep_request(raw: bytes) -> dict:
+    """Decode and structurally validate a ``/sweep`` body.
+
+    The plan is materialised as a :class:`~repro.sweep.SweepPlan` (its
+    own validation rejects bad modes, empty point lists, and malformed
+    points), so every structural problem is refused with 400 before a
+    worker is committed; the deck itself is parsed by the caller like an
+    ``/analyze`` deck.  Raises :class:`ValueError` with a client-facing
+    message on any problem.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = set(payload) - {
+        "deck", "node", "points", "mode", "first_order_threshold",
+        "error_bound", "timeout",
+    }
+    if unknown:
+        raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
+    deck = payload.get("deck")
+    if not isinstance(deck, str) or not deck.strip():
+        raise ValueError("'deck' must be a non-empty string of netlist text")
+    node = payload.get("node")
+    if not isinstance(node, str) or not node:
+        raise ValueError("'node' must be a non-empty node name")
+    points = payload.get("points")
+    if (not isinstance(points, list) or not points
+            or not all(isinstance(point, dict) for point in points)):
+        raise ValueError("'points' must be a non-empty list of objects")
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ValueError("'timeout' must be a number")
+        if timeout < 0:
+            raise ValueError("'timeout' must be >= 0")
+    plan_payload = {
+        "node": node,
+        "points": points,
+        "mode": payload.get("mode", "auto"),
+        "first_order_threshold": payload.get("first_order_threshold", 0.05),
+        "error_bound": payload.get("error_bound", 1e-3),
+    }
+    try:
+        plan = SweepPlan.from_payload(plan_payload)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed sweep plan: {exc}") from exc
+    return {"deck": deck, "plan": plan, "timeout": timeout}
+
+
 #: Public names for the request parsers: the gateway validates and
 #: content-addresses a body *before* choosing a shard, and routing must
 #: agree with the daemon about what a request means — one parser, two
 #: callers, zero drift.
 parse_analyze_request = _parse_request
 parse_sta_request = _parse_sta_request
+parse_sweep_request = _parse_sweep_request
 
 
 class AnalysisService:
@@ -329,11 +385,12 @@ class AnalysisService:
         self._idle = threading.Condition(self._lock)
         self._in_flight = 0
         # Per-endpoint EWMAs of job wall time, seeding Retry-After: /sta
-        # freezes a whole timing DAG while /analyze runs one deck, so one
-        # shared average would let a burst of either skew the other's
+        # freezes a whole timing DAG while /analyze runs one deck and
+        # /sweep amortises one factorization over many points, so one
+        # shared average would let a burst of either skew the others'
         # hint (an STA-heavy minute would tell analyze clients to back
         # off 10x too long, and vice versa).
-        self._avg_job_s = {"analyze": 0.05, "sta": 0.05}
+        self._avg_job_s = {"analyze": 0.05, "sta": 0.05, "sweep": 0.05}
         self._started_at = time.monotonic()
         self._degraded = False
         self._consecutive_crashes = 0
@@ -426,6 +483,19 @@ class AnalysisService:
                     params["interconnect"], library=params["library"],
                 )
                 label = params["design"].name
+            elif kind == "sweep":
+                params = _parse_sweep_request(raw_body)
+                deck = parse_netlist(params["deck"])
+                plan = params["plan"]
+                for point in plan.points:
+                    try:
+                        deck.circuit[point.element]
+                    except KeyError:
+                        raise ValueError(
+                            f"sweep point names unknown element "
+                            f"{point.element!r}") from None
+                key = sweep_request_key(deck.circuit, deck.stimuli, plan)
+                label = deck.title or "deck"
             else:
                 params = _parse_request(raw_body)
                 deck = parse_netlist(params["deck"])
@@ -610,6 +680,8 @@ class AnalysisService:
             try:
                 if item.kind == "sta":
                     self._process_sta(item)
+                elif item.kind == "sweep":
+                    self._process_sweep(item)
                 else:
                     self._process(engine, item)
             finally:
@@ -744,6 +816,47 @@ class AnalysisService:
                 0.3 * (elapsed - self._avg_job_s["sta"]))
         self._finish(pending, 200, body)
 
+    def _process_sweep(self, pending: _Pending) -> None:
+        """Worker path for ``POST /sweep``: build the incremental sweep
+        engine once, evaluate every plan point, and return the validated
+        ``repro.sweep-report/1`` document, cached on success.
+
+        Like STA, sweeps never touch the process pool, so they neither
+        count toward nor clear the worker-crash/degraded bookkeeping.
+        """
+        if pending.abandoned:
+            return  # the client already received 504; don't burn a worker
+        if pending.deadline is not None:
+            if pending.deadline - time.monotonic() <= 0:
+                self._finish(pending, 504, _error_body(
+                    504, "request timed out while queued"))
+                return
+        started = time.monotonic()
+        plan = pending.params["plan"]
+        try:
+            tracer = Tracer(name="sweep", deck=pending.label,
+                            points=len(plan.points))
+            engine = SweepEngine(pending.deck.circuit, pending.deck.stimuli,
+                                 tracer=tracer)
+            result = engine.evaluate(plan)
+            document = validate_sweep_report(
+                build_sweep_report(result, trace=tracer.to_record(),
+                                   parse_s=pending.parse_s))
+        except Exception as exc:  # defensive: a worker must never die
+            with self._lock:
+                self._counters["requests_failed"] += 1
+            self._finish(pending, 500, _error_body(
+                500, f"internal analysis error: {exc}", type(exc).__name__))
+            return
+        body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
+        self.cache.put(pending.key, body)
+        with self._lock:
+            self._counters["requests_ok"] += 1
+            elapsed = time.monotonic() - started
+            self._avg_job_s["sweep"] += (
+                0.3 * (elapsed - self._avg_job_s["sweep"]))
+        self._finish(pending, 200, body)
+
     @staticmethod
     def _finish(pending: _Pending, status: int, body: bytes) -> None:
         pending.status = status
@@ -796,14 +909,15 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(404, _error_body(
                 404, f"unknown path {self.path!r}; endpoints: "
-                     "POST /analyze, POST /sta, GET /healthz, GET /metrics"))
+                     "POST /analyze, POST /sta, POST /sweep, "
+                     "GET /healthz, GET /metrics"))
 
     def do_POST(self):
         service = self.server.service
-        if self.path not in ("/analyze", "/sta"):
+        if self.path not in ("/analyze", "/sta", "/sweep"):
             self._reply(404, _error_body(
-                404, f"unknown path {self.path!r}; POST /analyze or "
-                     "POST /sta"))
+                404, f"unknown path {self.path!r}; POST /analyze, "
+                     "POST /sta, or POST /sweep"))
             return
         try:
             length = int(self.headers.get("Content-Length", ""))
@@ -815,7 +929,7 @@ class _Handler(BaseHTTPRequestHandler):
                 413, f"request body exceeds {MAX_BODY_BYTES} bytes"))
             return
         raw = self.rfile.read(length)
-        kind = "sta" if self.path == "/sta" else "analyze"
+        kind = self.path.lstrip("/")
         status, body, headers = service.submit(raw, kind=kind)
         self._reply(status, body, headers)
 

@@ -85,13 +85,45 @@ class TestBuildMix:
 
 
 class TestPercentile:
-    def test_nearest_rank(self):
+    """The convention is numpy.percentile's linear interpolation: the
+    percentile sits at fractional rank ``fraction * (n - 1)``.  At
+    n >= 100 the grid is fine enough that round percentiles land on
+    samples; at small n the interpolated value must match numpy exactly
+    rather than snap to the nearest rank."""
+
+    def test_large_n_round_percentiles_land_on_samples(self):
         values = [float(v) for v in range(101)]  # 0.0 .. 100.0
         assert _percentile(values, 0.50) == 50.0
         assert _percentile(values, 0.99) == 99.0
         assert _percentile(values, 1.00) == 100.0
         assert _percentile([5.0], 0.99) == 5.0
         assert _percentile([], 0.5) == 0.0
+
+    def test_small_n_matches_numpy_linear_interpolation(self):
+        import numpy as np
+
+        for values in ([1.0, 2.0], [1.0, 2.0, 10.0],
+                       [3.0, 5.0, 8.0, 21.0, 34.0],
+                       [float(v) ** 2 for v in range(8)]):
+            for fraction in (0.25, 0.50, 0.90, 0.99):
+                assert _percentile(values, fraction) == pytest.approx(
+                    float(np.percentile(values, fraction * 100.0)),
+                    rel=1e-12,
+                ), (values, fraction)
+
+    def test_small_n_p99_does_not_snap_to_the_maximum(self):
+        # 8 samples with a 90 ms gap at the tail: nearest-rank p99 used
+        # to return the 100 ms maximum; linear interpolation reports the
+        # tail position between the last two samples.
+        values = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 100.0]
+        p99 = _percentile(values, 0.99)
+        assert p99 < 100.0
+        assert p99 == pytest.approx(10.0 + 0.93 * 90.0, rel=1e-12)
+
+    def test_fraction_is_clamped(self):
+        values = [1.0, 2.0, 3.0]
+        assert _percentile(values, -0.5) == 1.0
+        assert _percentile(values, 1.5) == 3.0
 
 
 class TestRunLoadgen:

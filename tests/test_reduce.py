@@ -264,3 +264,63 @@ class TestReductionMemo:
         after = REDUCTION_MEMO.stats()
         assert after["misses"] - before["misses"] == 1
         assert after["hits"] - before["hits"] == 1
+
+
+class TestMemoAliasingGuard:
+    """Memo hits are shared across consumers, so mutating one downstream
+    (as a naive sweep perturbation would) must fail loudly instead of
+    corrupting every other holder's results and the content key."""
+
+    def _memo(self):
+        from repro.reduce import ReductionMemo
+
+        return ReductionMemo()
+
+    def test_memo_hits_are_frozen(self):
+        from repro.errors import CircuitError
+
+        memo = self._memo()
+        shared = memo.reduce(rc_ladder(40))
+        assert shared.frozen
+        resistor = shared.resistors[0]
+        with pytest.raises(CircuitError, match="frozen"):
+            shared.replace(type(resistor)(resistor.name, resistor.positive,
+                                          resistor.negative, 123.0))
+        with pytest.raises(CircuitError, match="frozen"):
+            shared.add_resistor("Rnew", "1", "0", 1.0)
+
+    def test_noop_reduction_hit_does_not_alias_the_callers_circuit(self):
+        # rc_ladder(2) has no collapsible chain once both nodes are kept:
+        # reduce_circuit returns the input object, but the memo must not
+        # freeze (or store) the caller's own circuit.
+        memo = self._memo()
+        mine = rc_ladder(2)
+        shared = memo.reduce(mine, keep=("1", "2"))
+        assert shared is not mine
+        assert not mine.frozen
+        assert shared.frozen
+        assert shared.canonical_key() == mine.canonical_key()
+        # The caller's object stays freely mutable without touching the memo.
+        mine.add_capacitor("Cextra", "1", "0", 1e-15)
+        assert memo.reduce(rc_ladder(2), keep=("1", "2")) is shared
+
+    def test_copy_of_a_frozen_hit_is_mutable_and_detached(self):
+        memo = self._memo()
+        shared = memo.reduce(rc_ladder(40))
+        variant = shared.copy()
+        assert not variant.frozen
+        resistor = variant.resistors[0]
+        variant.replace(type(resistor)(resistor.name, resistor.positive,
+                                       resistor.negative,
+                                       resistor.resistance * 2.0))
+        # Perturbing the copy never leaks back into the shared object.
+        assert shared[resistor.name].resistance == resistor.resistance
+        assert variant.canonical_key() != shared.canonical_key()
+
+    def test_direct_reduce_circuit_noop_identity_is_preserved(self):
+        # The identity contract of reduce_circuit itself is unchanged:
+        # only the memo copies on the no-op path.
+        circuit = rc_ladder(2)
+        reduction = reduce_circuit(circuit, keep=("1", "2"))
+        assert reduction.circuit is circuit
+        assert not circuit.frozen

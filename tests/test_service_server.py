@@ -739,10 +739,11 @@ class TestPerEndpointRetryAfter:
     def test_metrics_expose_both_averages_and_they_move_independently(
             self, service):
         seeded = service.metrics()["avg_job_s"]
-        assert seeded == {"analyze": 0.05, "sta": 0.05}
+        assert seeded == {"analyze": 0.05, "sta": 0.05, "sweep": 0.05}
 
         status, _, _ = service.submit(request_body(FAST_DECK, ["2"]))
         assert status == 200
         moved = service.metrics()["avg_job_s"]
         assert moved["analyze"] != 0.05  # EWMA absorbed the real elapsed
         assert moved["sta"] == 0.05      # untouched by /analyze traffic
+        assert moved["sweep"] == 0.05    # likewise
